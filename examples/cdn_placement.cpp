@@ -1,0 +1,65 @@
+// CDN cache placement: the metric scenario that motivates facility location
+// in networked systems. Edge PoPs (clients) pick cache sites (facilities)
+// in the plane; opening a cache costs money, serving a PoP costs latency.
+//
+// The example compares the distributed algorithm — which the PoPs and sites
+// could actually run over their own links — against the centralized metric
+// specialists (Jain–Vazirani, Mettu–Plaxton), and shows the k trade-off a
+// deployment would tune.
+//
+//   $ ./examples/cdn_placement
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace dflp;
+
+  workload::EuclideanParams geo;
+  geo.num_facilities = 15;   // candidate cache sites
+  geo.num_clients = 120;     // edge PoPs
+  geo.clusters = 4;          // four metro areas
+  geo.opening_lo = 100.0;    // cache hardware cost range
+  geo.opening_hi = 500.0;
+  const workload::EuclideanInstance world = workload::euclidean(geo, 7);
+  const fl::Instance& inst = world.instance;
+
+  std::cout << "CDN world: " << inst.describe() << "\n"
+            << "(4 metro clusters, costs = Euclidean latency, "
+               "complete bipartite reachability)\n";
+
+  core::MwParams params;
+  params.k = 16;
+  params.seed = 7;
+  const auto results = harness::run_suite(
+      {harness::Algo::kMwGreedy, harness::Algo::kPipeline,
+       harness::Algo::kSeqGreedy, harness::Algo::kJainVazirani,
+       harness::Algo::kMettuPlaxton, harness::Algo::kJms,
+       harness::Algo::kNearestFacility},
+      inst, params);
+  harness::print_section(
+      "cache placement, all algorithms (k = 16 for the distributed ones)",
+      "ratio is against the strongest certified lower bound",
+      harness::results_table(results));
+
+  // The deployment question: how many synchronous gossip rounds buy how
+  // much placement quality?
+  Table tradeoff({"k", "cost", "rounds", "messages"});
+  const harness::LowerBound lb = harness::compute_lower_bound(inst);
+  for (int k : {1, 4, 16, 64}) {
+    core::MwParams p;
+    p.k = k;
+    p.seed = 7;
+    const harness::RunResult r =
+        harness::run_algorithm(harness::Algo::kMwGreedy, inst, p, lb);
+    tradeoff.row().cell(k).cell(r.cost, 1).cell(r.rounds).cell(r.messages);
+  }
+  harness::print_section("rounds-for-quality trade-off (mw-greedy)",
+                         "lower bound (" + lb.kind + ") = " +
+                             format_double(lb.value, 1),
+                         tradeoff);
+  return 0;
+}

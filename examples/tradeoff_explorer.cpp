@@ -1,0 +1,86 @@
+// Trade-off explorer: a small CLI for sweeping the paper's k parameter on a
+// chosen workload family — the tool you reach for when deciding how many
+// rounds your deployment can afford.
+//
+//   $ ./examples/tradeoff_explorer [family] [size] [seed]
+//     family: uniform | euclidean | powerlaw | greedy-tight | star
+//     size:   number of clients (default 100)
+//     seed:   RNG seed (default 1)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "workload/generators.h"
+
+namespace {
+
+dflp::workload::Family parse_family(const std::string& name) {
+  using dflp::workload::Family;
+  for (const Family f : {Family::kUniform, Family::kEuclidean,
+                         Family::kPowerLaw, Family::kGreedyTight,
+                         Family::kStar}) {
+    if (dflp::workload::family_name(f) == name) return f;
+  }
+  std::cerr << "unknown family '" << name << "', using uniform\n";
+  return Family::kUniform;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dflp;
+
+  const workload::Family family =
+      argc > 1 ? parse_family(argv[1]) : workload::Family::kUniform;
+  const int size = argc > 2 ? std::atoi(argv[2]) : 100;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+  if (size < 4) {
+    std::cerr << "size must be >= 4\n";
+    return 1;
+  }
+
+  const fl::Instance inst = workload::make_family_instance(
+      family, static_cast<std::int32_t>(size), seed);
+  std::cout << "family=" << workload::family_name(family) << " "
+            << inst.describe() << "\n";
+
+  const harness::LowerBound lb = harness::compute_lower_bound(inst);
+  std::cout << "lower bound: " << lb.value << " (" << lb.kind << ")\n";
+
+  Table table({"k", "cost", "ratio", "rounds", "messages", "kbits",
+               "wall-ms"});
+  for (int k : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    core::MwParams params;
+    params.k = k;
+    params.seed = seed;
+    const harness::RunResult r =
+        harness::run_algorithm(harness::Algo::kMwGreedy, inst, params, lb);
+    table.row()
+        .cell(k)
+        .cell(r.cost, 2)
+        .cell(r.ratio, 3)
+        .cell(r.rounds)
+        .cell(r.messages)
+        .cell(static_cast<double>(r.total_bits) / 1000.0, 1)
+        .cell(r.wall_ms, 2);
+  }
+  harness::print_section("k sweep (mw-greedy)",
+                         "pick the smallest k whose ratio you can live with",
+                         table);
+
+  // Reference rows.
+  core::MwParams params;
+  params.k = 16;
+  params.seed = seed;
+  const auto refs = harness::run_suite(
+      {harness::Algo::kIdealGreedy, harness::Algo::kSeqGreedy,
+       harness::Algo::kOpenAll},
+      inst, params);
+  harness::print_section("centralized references", "",
+                         harness::results_table(refs));
+  return 0;
+}

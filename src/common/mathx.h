@@ -1,0 +1,40 @@
+// Small numeric helpers shared across subsystems.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dflp {
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
+[[nodiscard]] int ceil_log2(std::uint64_t x) noexcept;
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] int floor_log2(std::uint64_t x) noexcept;
+
+/// Iterated logarithm: number of times log2 must be applied to x before the
+/// result is <= 1. log_star(2^65536) == 5.
+[[nodiscard]] int log_star(double x) noexcept;
+
+/// ceil(a / b) for positive integers.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Harmonic number H_n = sum_{i=1..n} 1/i (the greedy set-cover ratio).
+[[nodiscard]] double harmonic(std::uint64_t n) noexcept;
+
+/// Geometric threshold ladder: values lo * beta^i for i = 0..count-1.
+/// Used by the scale schedule of the distributed algorithms.
+[[nodiscard]] std::vector<double> geometric_levels(double lo, double beta,
+                                                   int count);
+
+/// True if |a-b| <= tol * max(1, |a|, |b|): relative-ish comparison used by
+/// tests and the LP feasibility checks.
+[[nodiscard]] bool approx_eq(double a, double b, double tol = 1e-9) noexcept;
+
+/// Clamp helper that also handles NaN by returning lo.
+[[nodiscard]] double clamp_finite(double x, double lo, double hi) noexcept;
+
+}  // namespace dflp

@@ -1,0 +1,81 @@
+// Shared plumbing between the distributed algorithms: mapping a UFL
+// instance onto a simulated CONGEST network and giving each node its
+// strictly-local view of the instance.
+//
+// Node layout: facility i -> network node i; client j -> network node m+j.
+// A node's constructor receives only what the model lets it know locally:
+// its own cost data and the ids/costs of its incident edges.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "fl/instance.h"
+#include "netsim/network.h"
+
+namespace dflp::core {
+
+/// One incident edge from a node's local perspective.
+struct LocalEdge {
+  net::NodeId peer = net::kNoNode;  ///< network node id of the other side
+  double cost = 0.0;                ///< connection cost of this edge
+};
+
+[[nodiscard]] inline net::NodeId facility_node(fl::FacilityId i) noexcept {
+  return i;
+}
+
+[[nodiscard]] inline net::NodeId client_node(const fl::Instance& inst,
+                                             fl::ClientId j) noexcept {
+  return inst.num_facilities() + j;
+}
+
+[[nodiscard]] inline fl::FacilityId node_to_facility(net::NodeId v) noexcept {
+  return v;
+}
+
+[[nodiscard]] inline fl::ClientId node_to_client(const fl::Instance& inst,
+                                                 net::NodeId v) noexcept {
+  return v - inst.num_facilities();
+}
+
+/// Facility i's incident edges, ascending by (cost, peer). The order is the
+/// star-prefix order the greedy candidacy computation uses.
+[[nodiscard]] inline std::vector<LocalEdge> facility_local_edges(
+    const fl::Instance& inst, fl::FacilityId i) {
+  std::vector<LocalEdge> edges;
+  const auto span = inst.facility_edges(i);
+  edges.reserve(span.size());
+  for (const fl::FacilityEdge& e : span)
+    edges.push_back({client_node(inst, e.client), e.cost});
+  // facility_edges is sorted by (cost, client id) == (cost, peer) already.
+  return edges;
+}
+
+/// Client j's incident edges, ascending by (cost, peer).
+[[nodiscard]] inline std::vector<LocalEdge> client_local_edges(
+    const fl::Instance& inst, fl::ClientId j) {
+  std::vector<LocalEdge> edges;
+  const auto span = inst.client_edges(j);
+  edges.reserve(span.size());
+  for (const fl::ClientEdge& e : span)
+    edges.push_back({facility_node(e.facility), e.cost});
+  return edges;
+}
+
+/// Builds the (finalized, process-less) bipartite communication network of
+/// `inst` with the given options.
+[[nodiscard]] inline net::Network make_bipartite_network(
+    const fl::Instance& inst, net::Network::Options options) {
+  const auto total = static_cast<std::size_t>(inst.num_facilities() +
+                                              inst.num_clients());
+  net::Network net(total, options);
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    for (const fl::FacilityEdge& e : inst.facility_edges(i))
+      net.add_edge(facility_node(i), client_node(inst, e.client));
+  }
+  net.finalize();
+  return net;
+}
+
+}  // namespace dflp::core

@@ -1,0 +1,12 @@
+#include "core/ideal_greedy.h"
+
+#include "seq/greedy.h"
+
+namespace dflp::core {
+
+IdealGreedyOutcome run_ideal_greedy(const fl::Instance& inst) {
+  seq::GreedyResult greedy = seq::greedy_solve(inst);
+  return IdealGreedyOutcome{std::move(greedy.solution), greedy.iterations};
+}
+
+}  // namespace dflp::core

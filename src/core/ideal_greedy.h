@@ -1,0 +1,26 @@
+// Idealized distributed greedy: the round-count floor against which the
+// paper's trade-off is positioned.
+//
+// Centralized greedy is inherently sequential — each star selection needs
+// the global minimum cost-effectiveness, which costs at least one round of
+// global coordination per iteration even with unbounded message sizes. This
+// wrapper runs the exact centralized greedy and reports `iterations` as its
+// (optimistic) round count, giving the benches a "what would perfect greedy
+// cost in rounds" comparator without building a full LOCAL-model emulation.
+#pragma once
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::core {
+
+struct IdealGreedyOutcome {
+  fl::IntegralSolution solution;
+  /// One global star selection per round: an optimistic lower bound on the
+  /// rounds any faithful distributed emulation of greedy needs.
+  int rounds = 0;
+};
+
+[[nodiscard]] IdealGreedyOutcome run_ideal_greedy(const fl::Instance& inst);
+
+}  // namespace dflp::core

@@ -1,0 +1,411 @@
+#include "core/mw_greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/bipartite.h"
+
+namespace dflp::core {
+
+namespace {
+
+// Protocol opcodes.
+constexpr std::uint8_t kOffer = 1;
+constexpr std::uint8_t kAccept = 2;
+constexpr std::uint8_t kGrant = 3;
+constexpr std::uint8_t kCovered = 4;
+constexpr std::uint8_t kOpenReq = 5;
+
+/// Static data shared read-only by every node: the derived schedule plus
+/// the round layout constants.
+struct Shared {
+  MwSchedule sched;
+  MwParams params;
+  std::uint64_t scheduled_rounds = 0;  // 4 * levels * subphases
+};
+
+class FacilityProc final : public net::Process {
+ public:
+  FacilityProc(const Shared* shared, double opening_cost,
+               std::vector<LocalEdge> edges)
+      : shared_(shared), opening_cost_(opening_cost),
+        edges_(std::move(edges)),
+        covered_(edges_.size(), 0) {
+    by_peer_.reserve(edges_.size());
+    for (std::size_t t = 0; t < edges_.size(); ++t)
+      by_peer_.push_back({edges_[t].peer, t});
+    std::sort(by_peer_.begin(), by_peer_.end());
+    uncovered_count_ = static_cast<int>(edges_.size());
+  }
+
+  [[nodiscard]] bool opened() const noexcept { return open_; }
+
+  void on_round(net::NodeContext& ctx,
+                std::span<const net::Message> inbox) override {
+    const std::uint64_t r = ctx.round();
+    // Absorb coverage notices whenever they arrive (phase-3 broadcasts land
+    // in the next phase-0 round; mop-up notices can land later too).
+    for (const net::Message& msg : inbox) {
+      if (msg.kind == kCovered) mark_covered(msg.src);
+    }
+
+    if (r < shared_->scheduled_rounds) {
+      switch (r % 4) {
+        case 0:
+          maybe_offer(ctx, r);
+          break;
+        case 2:
+          maybe_open_and_grant(ctx, inbox);
+          break;
+        default:
+          break;  // phases 1 and 3 belong to the clients
+      }
+      return;
+    }
+
+    // Mop-up window. Round base+1: serve OPEN_REQs, then halt.
+    const std::uint64_t base = shared_->scheduled_rounds;
+    if (!shared_->params.mopup || r >= base + 1) {
+      for (const net::Message& msg : inbox) {
+        if (msg.kind == kOpenReq) {
+          open_ = true;
+          ctx.send(msg.src, kGrant);
+        }
+      }
+      ctx.halt();
+    }
+    // Round base+0: just absorbed trailing COVERED notices; stay for the
+    // requests arriving next round.
+  }
+
+ private:
+  void mark_covered(net::NodeId client) {
+    const auto it = std::lower_bound(
+        by_peer_.begin(), by_peer_.end(),
+        std::pair<net::NodeId, std::size_t>{client, 0});
+    DFLP_CHECK_MSG(it != by_peer_.end() && it->first == client,
+                   "COVERED from non-neighbour " << client);
+    if (!covered_[it->second]) {
+      covered_[it->second] = 1;
+      --uncovered_count_;
+    }
+  }
+
+  /// Best star over uncovered neighbours: edges_ is cost-sorted, so scan
+  /// the prefix. Returns the ratio and fills `star_size`.
+  [[nodiscard]] double best_star(int* star_size) const {
+    double num = open_ ? 0.0 : opening_cost_;
+    double best = std::numeric_limits<double>::infinity();
+    int best_size = 0;
+    int size = 0;
+    for (std::size_t t = 0; t < edges_.size(); ++t) {
+      if (covered_[t]) continue;
+      num += edges_[t].cost;
+      ++size;
+      const double ratio = num / static_cast<double>(size);
+      if (ratio < best) {
+        best = ratio;
+        best_size = size;
+      }
+    }
+    *star_size = best_size;
+    return best;
+  }
+
+  void maybe_offer(net::NodeContext& ctx, std::uint64_t r) {
+    const auto iteration = r / 4;
+    const auto level = static_cast<int>(
+        iteration / static_cast<std::uint64_t>(shared_->sched.subphases));
+    DFLP_CHECK(level < shared_->sched.levels);
+    const double threshold =
+        shared_->sched.thresholds[static_cast<std::size_t>(level)];
+
+    offered_star_ = 0;
+    if (uncovered_count_ == 0) {
+      // Nothing left to serve and mop-up requests can only come from
+      // uncovered neighbours: this facility is done.
+      ctx.halt();
+      return;
+    }
+    int star = 0;
+    const double ratio = best_star(&star);
+    if (star == 0 || !(ratio <= threshold)) return;
+
+    // Offer the star prefix to its uncovered clients.
+    offered_star_ = star;
+    int sent = 0;
+    for (std::size_t t = 0; t < edges_.size() && sent < star; ++t) {
+      if (covered_[t]) continue;
+      ctx.send(edges_[t].peer, kOffer);
+      ++sent;
+    }
+  }
+
+  void maybe_open_and_grant(net::NodeContext& ctx,
+                            std::span<const net::Message> inbox) {
+    if (offered_star_ == 0) return;
+    std::vector<net::NodeId> accepters;
+    for (const net::Message& msg : inbox) {
+      if (msg.kind == kAccept) accepters.push_back(msg.src);
+    }
+    if (accepters.empty()) return;
+
+    int needed = 1;
+    if (shared_->params.accept_rule == AcceptRule::kFractionOfStar) {
+      needed = std::max(
+          1, static_cast<int>(std::ceil(static_cast<double>(offered_star_) /
+                                        shared_->sched.beta)));
+    }
+    if (static_cast<int>(accepters.size()) < needed) return;
+
+    open_ = true;
+    for (net::NodeId c : accepters) ctx.send(c, kGrant);
+  }
+
+  const Shared* shared_;
+  double opening_cost_;
+  std::vector<LocalEdge> edges_;       // cost-sorted
+  std::vector<std::uint8_t> covered_;  // parallel to edges_
+  std::vector<std::pair<net::NodeId, std::size_t>> by_peer_;  // sorted
+  int uncovered_count_ = 0;
+  bool open_ = false;
+  int offered_star_ = 0;  // size of the star offered this sub-phase
+};
+
+class ClientProc final : public net::Process {
+ public:
+  ClientProc(const Shared* shared, std::vector<LocalEdge> edges)
+      : shared_(shared), edges_(std::move(edges)) {}
+
+  [[nodiscard]] bool covered() const noexcept { return covered_; }
+  [[nodiscard]] net::NodeId assigned_facility_node() const noexcept {
+    return assigned_;
+  }
+  [[nodiscard]] bool covered_by_mopup() const noexcept { return by_mopup_; }
+
+  void on_round(net::NodeContext& ctx,
+                std::span<const net::Message> inbox) override {
+    const std::uint64_t r = ctx.round();
+    if (r < shared_->scheduled_rounds) {
+      switch (r % 4) {
+        case 1:
+          maybe_accept(ctx, inbox);
+          break;
+        case 3:
+          maybe_finalize_grant(ctx, inbox);
+          break;
+        default:
+          break;
+      }
+      return;
+    }
+
+    const std::uint64_t base = shared_->scheduled_rounds;
+    if (!shared_->params.mopup) {
+      ctx.halt();
+      return;
+    }
+    if (r == base) {
+      if (!covered_) {
+        // edges_ is cost-sorted: front is the cheapest facility.
+        pending_ = edges_.front().peer;
+        ctx.send(pending_, kOpenReq);
+        by_mopup_ = true;
+      } else {
+        ctx.halt();
+      }
+      return;
+    }
+    if (r == base + 1) return;  // request in flight; grant arrives next
+    // base+2: the grant for the mop-up request arrives.
+    for (const net::Message& msg : inbox) {
+      if (msg.kind == kGrant && msg.src == pending_) {
+        covered_ = true;
+        assigned_ = msg.src;
+      }
+    }
+    DFLP_CHECK_MSG(covered_, "mop-up grant missing for client node "
+                                 << ctx.self());
+    ctx.halt();
+  }
+
+ private:
+  void maybe_accept(net::NodeContext& ctx,
+                    std::span<const net::Message> inbox) {
+    pending_ = net::kNoNode;
+    if (covered_) return;
+    std::vector<net::NodeId> offers;
+    offers.reserve(inbox.size());
+    for (const net::Message& m : inbox) {
+      if (m.kind == kOffer) offers.push_back(m.src);
+    }
+    if (offers.empty()) return;
+    std::sort(offers.begin(), offers.end());
+    // Cheapest offering facility by exact local cost, ties by node id
+    // (edges_ order encodes exactly that preference).
+    for (const LocalEdge& e : edges_) {
+      if (std::binary_search(offers.begin(), offers.end(), e.peer)) {
+        pending_ = e.peer;
+        ctx.send(e.peer, kAccept);
+        return;
+      }
+    }
+  }
+
+  void maybe_finalize_grant(net::NodeContext& ctx,
+                            std::span<const net::Message> inbox) {
+    if (covered_ || pending_ == net::kNoNode) return;
+    for (const net::Message& msg : inbox) {
+      if (msg.kind == kGrant && msg.src == pending_) {
+        covered_ = true;
+        assigned_ = msg.src;
+        ctx.broadcast(kCovered);
+        ctx.halt();  // nothing further to say or learn
+        return;
+      }
+    }
+    pending_ = net::kNoNode;  // no grant: retry in a later sub-phase
+  }
+
+  const Shared* shared_;
+  std::vector<LocalEdge> edges_;  // cost-sorted
+  bool covered_ = false;
+  bool by_mopup_ = false;
+  net::NodeId assigned_ = net::kNoNode;
+  net::NodeId pending_ = net::kNoNode;
+};
+
+}  // namespace
+
+MwGreedyOutcome run_mw_greedy(const fl::Instance& inst,
+                              const MwParams& params) {
+  Shared shared;
+  shared.sched = derive_schedule(inst, params);
+  shared.params = params;
+  shared.scheduled_rounds = 4ULL *
+                            static_cast<std::uint64_t>(shared.sched.levels) *
+                            static_cast<std::uint64_t>(shared.sched.subphases);
+
+  net::Network::Options options;
+  options.bit_budget = shared.sched.bit_budget;
+  options.seed = params.seed;
+  options.drop_probability = params.drop_probability;
+  net::Network net = make_bipartite_network(inst, options);
+
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    net.set_process(facility_node(i),
+                    std::make_unique<FacilityProc>(
+                        &shared, inst.opening_cost(i),
+                        facility_local_edges(inst, i)));
+  }
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+    net.set_process(client_node(inst, j),
+                    std::make_unique<ClientProc>(
+                        &shared, client_local_edges(inst, j)));
+  }
+
+  const std::uint64_t max_rounds = shared.scheduled_rounds + 8;
+  MwGreedyOutcome outcome{fl::IntegralSolution(inst), net.run(max_rounds),
+                          shared.sched, 0};
+
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    const auto& proc =
+        static_cast<const FacilityProc&>(net.process(facility_node(i)));
+    if (proc.opened()) outcome.solution.open(i);
+  }
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+    const auto& proc =
+        static_cast<const ClientProc&>(net.process(client_node(inst, j)));
+    if (proc.covered()) {
+      outcome.solution.assign(
+          j, node_to_facility(proc.assigned_facility_node()));
+    }
+    if (proc.covered_by_mopup()) ++outcome.mopup_clients;
+  }
+  if (params.mopup) {
+    std::string why;
+    DFLP_CHECK_MSG(outcome.solution.is_feasible(inst, &why),
+                   "mw-greedy with mop-up must be feasible: " << why);
+  }
+  return outcome;
+}
+
+MwGreedyAsyncOutcome run_mw_greedy_async(const fl::Instance& inst,
+                                         const MwParams& params,
+                                         int max_delay) {
+  auto shared = std::make_unique<Shared>();
+  shared->sched = derive_schedule(inst, params);
+  shared->params = params;
+  shared->scheduled_rounds =
+      4ULL * static_cast<std::uint64_t>(shared->sched.levels) *
+      static_cast<std::uint64_t>(shared->sched.subphases);
+
+  net::AsyncNetwork::Options options;
+  // The synchronizer tags every message with its logical round, so the
+  // budget grows by the tag size: O(log rounds) = O(log N) extra bits.
+  options.bit_budget =
+      shared->sched.bit_budget +
+      net::bits_for_value(
+          static_cast<std::int64_t>(shared->scheduled_rounds + 8)) +
+      2;
+  options.max_delay = max_delay;
+  options.seed = params.seed;
+
+  net::AsyncNetwork net(
+      static_cast<std::size_t>(inst.num_facilities() + inst.num_clients()),
+      options);
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    for (const fl::FacilityEdge& e : inst.facility_edges(i))
+      net.add_edge(facility_node(i), client_node(inst, e.client));
+  }
+  net.finalize();
+
+  const Shared* shared_ptr = shared.get();
+  auto make_inner = [&](net::NodeId id) -> std::unique_ptr<net::Process> {
+    if (id < inst.num_facilities()) {
+      const fl::FacilityId i = node_to_facility(id);
+      return std::make_unique<FacilityProc>(shared_ptr,
+                                            inst.opening_cost(i),
+                                            facility_local_edges(inst, i));
+    }
+    const fl::ClientId j = node_to_client(inst, id);
+    return std::make_unique<ClientProc>(shared_ptr,
+                                        client_local_edges(inst, j));
+  };
+
+  MwGreedyAsyncOutcome outcome{fl::IntegralSolution(inst),
+                               net::run_synchronized(
+                                   net, make_inner,
+                                   /*max_events=*/1ULL << 32),
+                               shared->sched, 0};
+
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    const auto& sync = static_cast<const net::Synchronizer&>(
+        net.process(facility_node(i)));
+    outcome.max_rounds_executed =
+        std::max(outcome.max_rounds_executed, sync.rounds_executed());
+    if (static_cast<const FacilityProc&>(sync.inner()).opened())
+      outcome.solution.open(i);
+  }
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+    const auto& sync = static_cast<const net::Synchronizer&>(
+        net.process(client_node(inst, j)));
+    outcome.max_rounds_executed =
+        std::max(outcome.max_rounds_executed, sync.rounds_executed());
+    const auto& proc = static_cast<const ClientProc&>(sync.inner());
+    if (proc.covered()) {
+      outcome.solution.assign(
+          j, node_to_facility(proc.assigned_facility_node()));
+    }
+  }
+  if (params.mopup) {
+    std::string why;
+    DFLP_CHECK_MSG(outcome.solution.is_feasible(inst, &why),
+                   "async mw-greedy with mop-up must be feasible: " << why);
+  }
+  return outcome;
+}
+
+}  // namespace dflp::core

@@ -1,0 +1,86 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/mathx.h"
+#include "netsim/network.h"
+
+namespace dflp::core {
+
+std::string MwSchedule::describe() const {
+  std::ostringstream os;
+  os << "schedule(k=" << k << ", levels=" << levels
+     << ", subphases=" << subphases << ", beta=" << beta
+     << ", thresholds=" << thresholds.size() << ", y_scale=" << y_scale
+     << ", rounding_phases=" << rounding_phases << ", budget=" << bit_budget
+     << "b)";
+  return os.str();
+}
+
+MwSchedule derive_schedule(const fl::Instance& inst, const MwParams& params) {
+  DFLP_CHECK_MSG(params.k >= 1, "k must be >= 1, got " << params.k);
+  DFLP_CHECK(params.subphases_override >= 0);
+
+  const auto m = static_cast<double>(inst.num_facilities());
+  const fl::CostProfile& profile = inst.cost_profile();
+  const double rho = std::max(1.0, profile.rho);
+  const double deg =
+      static_cast<double>(std::max(1, inst.max_facility_degree()));
+
+  MwSchedule sched;
+  sched.k = params.k;
+  const int big_l =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(
+                      static_cast<double>(params.k)))));
+  sched.subphases =
+      params.subphases_override > 0 ? params.subphases_override : big_l;
+
+  // beta = (m * rho)^(1/L): the paper's discretization ratio. Clamp below
+  // at 1.5 so the ladder always makes progress even for tiny instances or
+  // huge k.
+  sched.beta = std::max(1.5, std::pow(std::max(2.0, m * rho),
+                                      1.0 / static_cast<double>(big_l)));
+
+  // Cost-effectiveness range implied by the a-priori bounds: a best star's
+  // ratio lies in [min_positive/(deg+1), max_value*(deg+1)] unless it is
+  // exactly zero (all-free star). A dedicated rung at 0 is always included
+  // — the profile cannot tell whether zero costs occur, and the rung costs
+  // one extra scale only.
+  const bool has_positive = std::isfinite(profile.min_positive);
+  if (has_positive) {
+    const double e_lo = profile.min_positive / (deg + 1.0);
+    const double e_hi = profile.max_value * (deg + 1.0);
+    const int rungs = std::max(
+        1, static_cast<int>(std::ceil(std::log(e_hi / e_lo) /
+                                      std::log(sched.beta))) +
+               1);
+    sched.thresholds = geometric_levels(e_lo * sched.beta, sched.beta, rungs);
+  }
+  sched.thresholds.insert(sched.thresholds.begin(), 0.0);
+  DFLP_CHECK(!sched.thresholds.empty());
+  sched.levels = static_cast<int>(sched.thresholds.size());
+
+  // On-wire codec: anchor at the smallest positive cost (or 1 if none).
+  const double anchor = has_positive ? profile.min_positive : 1.0;
+  sched.codec = CostCodec(anchor, 0.25);
+
+  sched.num_network_nodes = inst.num_facilities() + inst.num_clients();
+  sched.bit_budget = net::congest_bit_budget(
+      static_cast<std::size_t>(sched.num_network_nodes));
+
+  // Fractional grid: beta^(-y_scale) <= 1/(m * rho * (deg+1)).
+  sched.y_scale = std::max(
+      1, static_cast<int>(std::ceil(std::log(std::max(2.0, m * rho *
+                                                               (deg + 1.0))) /
+                                    std::log(sched.beta))));
+
+  sched.rounding_phases = std::max(
+      2, 2 * ceil_log2(static_cast<std::uint64_t>(sched.num_network_nodes) +
+                       2));
+  return sched;
+}
+
+}  // namespace dflp::core

@@ -1,0 +1,79 @@
+// Parameters and derived schedule for the reconstructed PODC'05 algorithms.
+//
+// The paper's trade-off knob is an integer k: more communication rounds buy
+// a better approximation. Internally k splits into L = ceil(sqrt(k))
+// *cost-effectiveness scales* (a geometric ladder of thresholds with ratio
+// beta = (m * rho)^(1/L)) times L contention *sub-phases* per scale, for
+// O(k) rounds total.
+//
+// What nodes are allowed to know. The paper assumes no global knowledge
+// beyond a polynomial upper bound on the network size; every threshold here
+// is a deterministic function of a-priori instance bounds (upper bounds on
+// m, on the cost spread rho, and on the maximum degree), which stand in for
+// that assumption. `derive()` computes them once from the instance — the
+// way a deployment would bake conservative bounds into the protocol — and
+// hands the same read-only schedule to every node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/quantize.h"
+#include "fl/instance.h"
+
+namespace dflp::core {
+
+/// Ablation knob (E8): when does a candidate facility commit to opening?
+enum class AcceptRule : std::uint8_t {
+  /// Opens only when at least max(1, ceil(|star|/beta)) clients accepted —
+  /// keeps the per-client price within a beta factor of the threshold.
+  kFractionOfStar,
+  /// Opens on any accept (aggressive; cheaper rounds, worse ratio).
+  kAnyAccept,
+};
+
+struct MwParams {
+  /// The paper's locality/quality trade-off parameter (k >= 1).
+  int k = 4;
+  /// Seed for every coin the distributed algorithms toss.
+  std::uint64_t seed = 1;
+  AcceptRule accept_rule = AcceptRule::kFractionOfStar;
+  /// 0 = derive sub-phase count as ceil(sqrt(k)); otherwise force it (E8).
+  int subphases_override = 0;
+  /// Run the final deterministic mop-up that guarantees feasibility.
+  /// Disabling it (E8) shows how much cost the scale schedule alone covers.
+  bool mopup = true;
+  /// Rounding stage: multiplier on the per-phase opening probability.
+  double rounding_boost = 1.0;
+  /// Fault injection: per-message drop probability in the simulator. The
+  /// paper's model is reliable (0.0); positive values exist so tests can
+  /// verify the protocols fail *loudly* (CheckError) rather than silently
+  /// emitting infeasible output.
+  double drop_probability = 0.0;
+};
+
+/// The deterministic schedule every node runs against.
+struct MwSchedule {
+  int k = 1;
+  int levels = 1;             ///< number of threshold rungs actually needed
+  int subphases = 1;          ///< contention sub-phases per rung
+  double beta = 2.0;          ///< geometric ratio of the rung ladder
+  std::vector<double> thresholds;  ///< ascending; may start with 0.0
+  CostCodec codec;            ///< quantizer for on-wire costs
+  int num_network_nodes = 0;  ///< N = m + n (for budgets and whp targets)
+  int bit_budget = 64;        ///< CONGEST per-message budget for this N
+  /// Fractional stage: y values live on the grid beta^(s - y_scale),
+  /// s = number of raises; beta^(-y_scale) <= 1/(m*rho_bound).
+  int y_scale = 1;
+  /// Rounding stage: number of randomized phases, Theta(log N).
+  int rounding_phases = 1;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Computes the schedule from the instance's a-priori bounds and k.
+[[nodiscard]] MwSchedule derive_schedule(const fl::Instance& inst,
+                                         const MwParams& params);
+
+}  // namespace dflp::core

@@ -1,0 +1,22 @@
+#include "core/pipeline.h"
+
+namespace dflp::core {
+
+PipelineOutcome run_pipeline(const fl::Instance& inst,
+                             const MwParams& params) {
+  FracOutcome frac = run_frac_lp(inst, params);
+  RoundOutcome rounded =
+      run_rand_round(inst, frac.fractional, frac.schedule, params);
+
+  PipelineOutcome outcome(inst);
+  outcome.solution = std::move(rounded.solution);
+  outcome.fractional_value = frac.fractional.value(inst);
+  outcome.frac_metrics = frac.metrics;
+  outcome.round_metrics = rounded.metrics;
+  outcome.schedule = frac.schedule;
+  outcome.frac_mopup_clients = frac.mopup_clients;
+  outcome.round_fallback_clients = rounded.fallback_clients;
+  return outcome;
+}
+
+}  // namespace dflp::core

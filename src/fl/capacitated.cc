@@ -1,0 +1,109 @@
+#include "fl/capacitated.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dflp::fl {
+
+void validate(const SoftCapacitatedInstance& inst) {
+  DFLP_CHECK_MSG(inst.capacity.size() ==
+                     static_cast<std::size_t>(inst.base.num_facilities()),
+                 "capacity vector size " << inst.capacity.size()
+                                         << " != facility count "
+                                         << inst.base.num_facilities());
+  for (std::size_t i = 0; i < inst.capacity.size(); ++i)
+    DFLP_CHECK_MSG(inst.capacity[i] >= 1,
+                   "capacity of facility " << i << " must be >= 1, got "
+                                           << inst.capacity[i]);
+}
+
+std::int64_t copies_needed(std::int32_t capacity, std::int64_t load) {
+  DFLP_CHECK(capacity >= 1 && load >= 0);
+  if (load == 0) return 0;
+  if (capacity == kUncapacitated) return 1;
+  return (load + capacity - 1) / capacity;
+}
+
+double soft_capacitated_cost(const SoftCapacitatedInstance& inst,
+                             const IntegralSolution& solution) {
+  validate(inst);
+  std::string why;
+  DFLP_CHECK_MSG(solution.is_feasible(inst.base, &why),
+                 "capacitated cost of infeasible solution: " << why);
+
+  const Instance& base = inst.base;
+  std::vector<std::int64_t> load(
+      static_cast<std::size_t>(base.num_facilities()), 0);
+  double connection = 0.0;
+  for (ClientId j = 0; j < base.num_clients(); ++j) {
+    const FacilityId i = solution.assignment(j);
+    ++load[static_cast<std::size_t>(i)];
+    connection += base.connection_cost(i, j);
+  }
+  double opening = 0.0;
+  for (FacilityId i = 0; i < base.num_facilities(); ++i) {
+    const std::int64_t l = load[static_cast<std::size_t>(i)];
+    if (l > 0) {
+      opening += static_cast<double>(
+                     copies_needed(inst.capacity[static_cast<std::size_t>(i)],
+                                   l)) *
+                 base.opening_cost(i);
+    } else if (solution.is_open(i)) {
+      opening += base.opening_cost(i);  // opened one copy, serves nobody
+    }
+  }
+  return opening + connection;
+}
+
+Instance reduce_to_ufl(const SoftCapacitatedInstance& inst) {
+  validate(inst);
+  const Instance& base = inst.base;
+  InstanceBuilder builder;
+  for (FacilityId i = 0; i < base.num_facilities(); ++i)
+    builder.add_facility(base.opening_cost(i));
+  for (ClientId j = 0; j < base.num_clients(); ++j) builder.add_client();
+  for (FacilityId i = 0; i < base.num_facilities(); ++i) {
+    const std::int32_t cap = inst.capacity[static_cast<std::size_t>(i)];
+    const double surcharge =
+        cap == kUncapacitated
+            ? 0.0
+            : base.opening_cost(i) / static_cast<double>(cap);
+    for (const FacilityEdge& e : base.facility_edges(i))
+      builder.connect(i, e.client, e.cost + surcharge);
+  }
+  return builder.build();
+}
+
+SoftCapacitatedResult solve_soft_capacitated(
+    const SoftCapacitatedInstance& inst,
+    const std::function<IntegralSolution(const Instance&)>& solve) {
+  validate(inst);
+  const Instance reduced = reduce_to_ufl(inst);
+  IntegralSolution solution = solve(reduced);
+  std::string why;
+  DFLP_CHECK_MSG(solution.is_feasible(reduced, &why),
+                 "UFL solver returned an infeasible solution: " << why);
+
+  SoftCapacitatedResult result{std::move(solution), 0.0, 0};
+  // Same adjacency, so the solution is feasible for the base instance too;
+  // its capacitated cost re-prices connections at original costs and opens
+  // copies by load.
+  result.cost = soft_capacitated_cost(inst, result.solution);
+  std::vector<std::int64_t> load(
+      static_cast<std::size_t>(inst.base.num_facilities()), 0);
+  for (ClientId j = 0; j < inst.base.num_clients(); ++j)
+    ++load[static_cast<std::size_t>(result.solution.assignment(j))];
+  for (FacilityId i = 0; i < inst.base.num_facilities(); ++i) {
+    const std::int64_t l = load[static_cast<std::size_t>(i)];
+    if (l > 0) {
+      result.total_copies += copies_needed(
+          inst.capacity[static_cast<std::size_t>(i)], l);
+    } else if (result.solution.is_open(i)) {
+      result.total_copies += 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace dflp::fl

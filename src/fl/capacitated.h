@@ -1,0 +1,68 @@
+// Soft-capacitated UFL: the paper's natural extension.
+//
+// Each facility i additionally carries a capacity u_i; it may be opened in
+// multiple copies, each copy costing f_i and serving at most u_i clients
+// ("soft" capacities). The classic reduction (used by Jain–Vazirani and
+// Mahdian–Ye–Zhang) maps the problem back to plain UFL by amortizing the
+// copy cost into the connection costs:
+//
+//     c'_ij = c_ij + f_i / u_i
+//
+// Solving the modified UFL instance with any a-approximation and paying
+// ceil(load_i / u_i) copies per used facility yields a 2a-approximation for
+// the soft-capacitated problem. This module implements the reduction, the
+// capacitated cost semantics, and the glue that lets every UFL solver in
+// the library (including the distributed ones) solve the capacitated
+// variant unchanged.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::fl {
+
+/// A soft-capacitated instance: the base UFL data plus per-facility
+/// capacities (>= 1). Capacity kUncapacitated means "unbounded".
+inline constexpr std::int32_t kUncapacitated =
+    std::numeric_limits<std::int32_t>::max();
+
+struct SoftCapacitatedInstance {
+  Instance base;
+  std::vector<std::int32_t> capacity;  ///< size = base.num_facilities()
+};
+
+/// Validates shape and capacity positivity.
+void validate(const SoftCapacitatedInstance& inst);
+
+/// Number of copies facility i must open to serve `load` clients.
+[[nodiscard]] std::int64_t copies_needed(std::int32_t capacity,
+                                         std::int64_t load);
+
+/// Capacitated cost of a (plain-UFL-feasible) solution: connection costs
+/// plus ceil(load_i/u_i) * f_i for every facility serving >= 1 client.
+/// Facilities opened but unused cost one copy each (they were opened).
+[[nodiscard]] double soft_capacitated_cost(
+    const SoftCapacitatedInstance& inst, const IntegralSolution& solution);
+
+/// The reduction: plain UFL instance with c'_ij = c_ij + f_i/u_i.
+/// Uncapacitated facilities keep their costs unchanged.
+[[nodiscard]] Instance reduce_to_ufl(const SoftCapacitatedInstance& inst);
+
+/// Solves the capacitated instance with any UFL solver: builds the reduced
+/// instance, invokes `solve` on it, and returns the solver's solution
+/// (feasible for the base instance — same adjacency) together with its
+/// capacitated cost. If `solve` is an a-approximation for UFL, the result
+/// is a 2a-approximation for the soft-capacitated problem.
+struct SoftCapacitatedResult {
+  IntegralSolution solution;
+  double cost = 0.0;
+  std::int64_t total_copies = 0;
+};
+[[nodiscard]] SoftCapacitatedResult solve_soft_capacitated(
+    const SoftCapacitatedInstance& inst,
+    const std::function<IntegralSolution(const Instance&)>& solve);
+
+}  // namespace dflp::fl

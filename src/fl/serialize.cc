@@ -1,0 +1,71 @@
+#include "fl/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dflp::fl {
+
+void write_instance(std::ostream& os, const Instance& inst) {
+  os << "dflp-ufl 1\n";
+  os << inst.num_facilities() << ' ' << inst.num_clients() << ' '
+     << inst.num_edges() << '\n';
+  os.precision(17);
+  for (FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    os << inst.opening_cost(i) << (i + 1 < inst.num_facilities() ? ' ' : '\n');
+  }
+  for (FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    for (const FacilityEdge& e : inst.facility_edges(i)) {
+      os << i << ' ' << e.client << ' ' << e.cost << '\n';
+    }
+  }
+}
+
+std::string to_text(const Instance& inst) {
+  std::ostringstream os;
+  write_instance(os, inst);
+  return os.str();
+}
+
+Instance read_instance(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  DFLP_CHECK_MSG(is && magic == "dflp-ufl" && version == 1,
+                 "bad header: expected 'dflp-ufl 1', got '" << magic << ' '
+                                                            << version << "'");
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t edges = 0;
+  is >> m >> n >> edges;
+  DFLP_CHECK_MSG(is && m > 0 && n > 0 && edges >= 0,
+                 "bad dimensions m=" << m << " n=" << n << " E=" << edges);
+
+  InstanceBuilder builder;
+  for (std::int64_t i = 0; i < m; ++i) {
+    Cost f = 0.0;
+    is >> f;
+    DFLP_CHECK_MSG(is.good() || is.eof(), "truncated opening costs");
+    DFLP_CHECK_MSG(!is.fail(), "malformed opening cost at index " << i);
+    builder.add_facility(f);
+  }
+  for (std::int64_t j = 0; j < n; ++j) builder.add_client();
+  for (std::int64_t e = 0; e < edges; ++e) {
+    std::int64_t i = 0;
+    std::int64_t j = 0;
+    Cost c = 0.0;
+    is >> i >> j >> c;
+    DFLP_CHECK_MSG(!is.fail(), "malformed edge line " << e);
+    builder.connect(static_cast<FacilityId>(i), static_cast<ClientId>(j), c);
+  }
+  return builder.build();
+}
+
+Instance from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_instance(is);
+}
+
+}  // namespace dflp::fl

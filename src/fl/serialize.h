@@ -1,0 +1,32 @@
+// Plain-text (de)serialization of UFL instances.
+//
+// Format (whitespace separated):
+//   dflp-ufl 1
+//   <m> <n> <E>
+//   <f_0> ... <f_{m-1}>
+//   <i> <j> <c>     (E edge lines: facility, client, connection cost)
+//
+// The format is line-oriented and diff-friendly so pathological instances
+// found by tests can be checked in as fixtures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fl/instance.h"
+
+namespace dflp::fl {
+
+/// Writes `inst` in the dflp-ufl v1 format.
+void write_instance(std::ostream& os, const Instance& inst);
+
+/// Convenience: render to a string.
+[[nodiscard]] std::string to_text(const Instance& inst);
+
+/// Parses a dflp-ufl v1 stream. Throws dflp::CheckError on malformed input.
+[[nodiscard]] Instance read_instance(std::istream& is);
+
+/// Convenience: parse from a string.
+[[nodiscard]] Instance from_text(const std::string& text);
+
+}  // namespace dflp::fl

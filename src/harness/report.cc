@@ -1,0 +1,31 @@
+#include "harness/report.h"
+
+#include <iostream>
+
+namespace dflp::harness {
+
+Table results_table(const std::vector<RunResult>& results) {
+  Table table({"algorithm", "cost", "ratio-vs-LB", "rounds", "messages",
+               "kbits", "max-msg-bits", "wall-ms"});
+  for (const RunResult& r : results) {
+    table.row()
+        .cell(r.algo)
+        .cell(r.cost, 2)
+        .cell(r.ratio, 3)
+        .cell(r.rounds)
+        .cell(r.messages)
+        .cell(static_cast<double>(r.total_bits) / 1000.0, 1)
+        .cell(r.max_message_bits)
+        .cell(r.wall_ms, 2);
+  }
+  return table;
+}
+
+void print_section(const std::string& title, const std::string& subtitle,
+                   const Table& table) {
+  std::cout << "\n## " << title << "\n";
+  if (!subtitle.empty()) std::cout << subtitle << "\n";
+  std::cout << "\n" << table.to_markdown() << std::flush;
+}
+
+}  // namespace dflp::harness

@@ -1,0 +1,20 @@
+// Rendering of harness results into the tables the bench binaries print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/runner.h"
+
+namespace dflp::harness {
+
+/// Standard columns: algo | cost | ratio | rounds | messages | kbits |
+/// max-msg-bits | wall-ms.
+[[nodiscard]] Table results_table(const std::vector<RunResult>& results);
+
+/// Prints a titled section with the lower-bound provenance to stdout.
+void print_section(const std::string& title, const std::string& subtitle,
+                   const Table& table);
+
+}  // namespace dflp::harness

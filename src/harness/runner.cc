@@ -1,0 +1,145 @@
+#include "harness/runner.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "core/ideal_greedy.h"
+#include "core/mw_greedy.h"
+#include "core/pipeline.h"
+#include "lp/dual_ascent.h"
+#include "lp/ufl_lp.h"
+#include "seq/greedy.h"
+#include "seq/jain_vazirani.h"
+#include "seq/jms.h"
+#include "seq/local_search.h"
+#include "seq/mettu_plaxton.h"
+#include "seq/trivial.h"
+
+namespace dflp::harness {
+
+std::string algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kMwGreedy:
+      return "mw-greedy";
+    case Algo::kPipeline:
+      return "mw-pipeline";
+    case Algo::kIdealGreedy:
+      return "ideal-greedy";
+    case Algo::kSeqGreedy:
+      return "seq-greedy";
+    case Algo::kJainVazirani:
+      return "jain-vazirani";
+    case Algo::kMettuPlaxton:
+      return "mettu-plaxton";
+    case Algo::kJms:
+      return "jms-greedy";
+    case Algo::kLocalSearch:
+      return "local-search";
+    case Algo::kOpenAll:
+      return "open-all";
+    case Algo::kNearestFacility:
+      return "nearest-facility";
+  }
+  return "unknown";
+}
+
+LowerBound compute_lower_bound(const fl::Instance& inst,
+                               std::size_t max_lp_edges) {
+  if (inst.num_edges() <= max_lp_edges) {
+    if (const auto lp = lp::solve_ufl_lp(inst)) {
+      return {lp->optimum, "lp-optimum"};
+    }
+  }
+  const lp::DualAscentResult dual = lp::dual_ascent_bound(inst);
+  if (dual.lower_bound > 0.0) return {dual.lower_bound, "dual-ascent"};
+  return {lp::cheapest_connection_bound(inst), "cheapest-edges"};
+}
+
+namespace {
+
+double safe_ratio(double cost, const LowerBound& lb) {
+  if (lb.value <= 0.0) return cost <= 0.0 ? 1.0 : 0.0;  // degenerate: free OPT
+  return cost / lb.value;
+}
+
+}  // namespace
+
+RunResult run_algorithm(Algo algo, const fl::Instance& inst,
+                        const core::MwParams& params, const LowerBound& lb) {
+  RunResult result;
+  result.algo = algo_name(algo);
+  const auto start = std::chrono::steady_clock::now();
+
+  fl::IntegralSolution sol;
+  switch (algo) {
+    case Algo::kMwGreedy: {
+      core::MwGreedyOutcome out = core::run_mw_greedy(inst, params);
+      sol = std::move(out.solution);
+      result.rounds = out.metrics.rounds;
+      result.messages = out.metrics.messages;
+      result.total_bits = out.metrics.total_bits;
+      result.max_message_bits = out.metrics.max_message_bits;
+      break;
+    }
+    case Algo::kPipeline: {
+      core::PipelineOutcome out = core::run_pipeline(inst, params);
+      sol = std::move(out.solution);
+      result.rounds = out.total_rounds();
+      result.messages = out.total_messages();
+      result.total_bits =
+          out.frac_metrics.total_bits + out.round_metrics.total_bits;
+      result.max_message_bits = std::max(out.frac_metrics.max_message_bits,
+                                         out.round_metrics.max_message_bits);
+      break;
+    }
+    case Algo::kIdealGreedy: {
+      core::IdealGreedyOutcome out = core::run_ideal_greedy(inst);
+      sol = std::move(out.solution);
+      result.rounds = static_cast<std::uint64_t>(out.rounds);
+      break;
+    }
+    case Algo::kSeqGreedy:
+      sol = seq::greedy_solve(inst).solution;
+      break;
+    case Algo::kJainVazirani:
+      sol = seq::jain_vazirani_solve(inst).solution;
+      break;
+    case Algo::kMettuPlaxton:
+      sol = seq::mettu_plaxton_solve(inst).solution;
+      break;
+    case Algo::kJms:
+      sol = seq::jms_solve(inst).solution;
+      break;
+    case Algo::kLocalSearch:
+      sol = seq::local_search_solve(inst).solution;
+      break;
+    case Algo::kOpenAll:
+      sol = seq::open_all_solve(inst);
+      break;
+    case Algo::kNearestFacility:
+      sol = seq::nearest_facility_solve(inst);
+      break;
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  result.feasible = sol.is_feasible(inst);
+  DFLP_CHECK_MSG(result.feasible,
+                 result.algo << " produced an infeasible solution");
+  result.cost = sol.cost(inst);
+  result.ratio = safe_ratio(result.cost, lb);
+  return result;
+}
+
+std::vector<RunResult> run_suite(const std::vector<Algo>& algos,
+                                 const fl::Instance& inst,
+                                 const core::MwParams& params) {
+  const LowerBound lb = compute_lower_bound(inst);
+  std::vector<RunResult> results;
+  results.reserve(algos.size());
+  for (Algo a : algos) results.push_back(run_algorithm(a, inst, params, lb));
+  return results;
+}
+
+}  // namespace dflp::harness

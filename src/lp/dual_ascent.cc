@@ -1,0 +1,198 @@
+#include "lp/dual_ascent.h"
+
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dflp::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class EventType : std::uint8_t { kCrossing, kTight };
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kCrossing;
+  // kCrossing: client + edge index within the client's edge list.
+  // kTight: facility + version stamp.
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct FacilityState {
+  double slack = 0.0;       ///< remaining budget at time `updated_at`
+  double updated_at = 0.0;  ///< time of last accounting refresh
+  std::int32_t active_payers = 0;
+  std::int32_t version = 0;
+  bool tight = false;
+};
+
+}  // namespace
+
+DualAscentResult dual_ascent_bound(const fl::Instance& inst) {
+  const std::int32_t m = inst.num_facilities();
+  const std::int32_t n = inst.num_clients();
+
+  std::vector<FacilityState> fac(static_cast<std::size_t>(m));
+  std::vector<double> alpha(static_cast<std::size_t>(n), -1.0);  // -1 = active
+  std::vector<double> tight_time(static_cast<std::size_t>(m), kInf);
+  std::vector<fl::FacilityId> witness(static_cast<std::size_t>(n),
+                                      fl::kNoFacility);
+  // Which facilities each active client currently pays (edge crossed, the
+  // facility not yet tight when crossed). Client degree is small, so a flat
+  // per-client vector is fine.
+  std::vector<std::vector<fl::FacilityId>> paying(
+      static_cast<std::size_t>(n));
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  for (fl::FacilityId i = 0; i < m; ++i) {
+    auto& f = fac[static_cast<std::size_t>(i)];
+    f.slack = inst.opening_cost(i);
+    if (f.slack <= 0.0) f.tight = true;  // zero-cost facilities start tight
+  }
+  for (fl::ClientId j = 0; j < n; ++j) {
+    const auto edges = inst.client_edges(j);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      events.push(Event{edges[k].cost, EventType::kCrossing, j,
+                        static_cast<std::int32_t>(k)});
+    }
+  }
+
+  // Brings facility accounting forward to `t` (slack decreases at a rate of
+  // one unit per active payer).
+  auto refresh = [&](FacilityState& f, double t) {
+    if (t > f.updated_at) {
+      f.slack -= static_cast<double>(f.active_payers) * (t - f.updated_at);
+      f.updated_at = t;
+    }
+  };
+
+  auto push_tight_event = [&](fl::FacilityId i) {
+    auto& f = fac[static_cast<std::size_t>(i)];
+    if (f.tight || f.active_payers == 0) return;
+    const double when =
+        f.updated_at + f.slack / static_cast<double>(f.active_payers);
+    events.push(Event{when, EventType::kTight, i, ++f.version});
+  };
+
+  std::int32_t active_clients = n;
+
+  // Freezing a client fixes its contribution to every facility it pays.
+  // `w` is the facility whose event caused the freeze (the JV witness).
+  auto freeze_client = [&](fl::ClientId j, double t, fl::FacilityId w) {
+    if (alpha[static_cast<std::size_t>(j)] >= 0.0) return;  // already frozen
+    alpha[static_cast<std::size_t>(j)] = t;
+    witness[static_cast<std::size_t>(j)] = w;
+    --active_clients;
+    for (fl::FacilityId i : paying[static_cast<std::size_t>(j)]) {
+      auto& f = fac[static_cast<std::size_t>(i)];
+      if (f.tight) continue;
+      refresh(f, t);
+      --f.active_payers;
+      ++f.version;  // invalidate outstanding tight predictions
+      push_tight_event(i);
+    }
+    paying[static_cast<std::size_t>(j)].clear();
+    paying[static_cast<std::size_t>(j)].shrink_to_fit();
+  };
+
+  auto tighten_facility = [&](fl::FacilityId i, double t) {
+    auto& f = fac[static_cast<std::size_t>(i)];
+    refresh(f, t);
+    f.tight = true;
+    tight_time[static_cast<std::size_t>(i)] = t;
+    // Freeze every client currently paying this facility. Payers are found
+    // by walking the facility's edge list and testing membership in each
+    // client's (tiny) paying vector; collected into a snapshot first since
+    // freeze_client mutates those vectors.
+    std::vector<fl::ClientId> payers;
+    for (const fl::FacilityEdge& e : inst.facility_edges(i)) {
+      if (alpha[static_cast<std::size_t>(e.client)] >= 0.0) continue;
+      const auto& pv = paying[static_cast<std::size_t>(e.client)];
+      for (fl::FacilityId pi : pv) {
+        if (pi == i) {
+          payers.push_back(e.client);
+          break;
+        }
+      }
+    }
+    for (fl::ClientId j : payers) freeze_client(j, t, i);
+  };
+
+  while (!events.empty() && active_clients > 0) {
+    const Event ev = events.top();
+    events.pop();
+    if (ev.type == EventType::kCrossing) {
+      const fl::ClientId j = ev.a;
+      if (alpha[static_cast<std::size_t>(j)] >= 0.0) continue;  // frozen
+      const fl::ClientEdge edge =
+          inst.client_edges(j)[static_cast<std::size_t>(ev.b)];
+      auto& f = fac[static_cast<std::size_t>(edge.facility)];
+      if (f.tight) {
+        // Raising alpha_j beyond c_ij would need beta > 0 against a spent
+        // budget: freeze exactly at the crossing.
+        freeze_client(j, ev.time, edge.facility);
+      } else {
+        refresh(f, ev.time);
+        if (f.slack <= 1e-12) {
+          tighten_facility(edge.facility, ev.time);
+          freeze_client(j, ev.time, edge.facility);
+        } else {
+          ++f.active_payers;
+          ++f.version;
+          paying[static_cast<std::size_t>(j)].push_back(edge.facility);
+          push_tight_event(edge.facility);
+        }
+      }
+    } else {  // kTight
+      const fl::FacilityId i = ev.a;
+      auto& f = fac[static_cast<std::size_t>(i)];
+      if (f.tight || ev.b != f.version) continue;  // stale prediction
+      tighten_facility(i, ev.time);
+    }
+  }
+
+  DFLP_CHECK_MSG(active_clients == 0,
+                 "dual ascent finished with active clients — every client "
+                 "has a crossing event, so this indicates a bug");
+
+  DualAscentResult result;
+  result.alpha = std::move(alpha);
+  result.tight_time = std::move(tight_time);
+  result.witness = std::move(witness);
+  for (double a : result.alpha) result.lower_bound += a;
+  return result;
+}
+
+bool is_dual_feasible(const fl::Instance& inst,
+                      const std::vector<double>& alpha, double tol) {
+  if (alpha.size() != static_cast<std::size_t>(inst.num_clients()))
+    return false;
+  for (double a : alpha)
+    if (!(a >= -tol) || !std::isfinite(a)) return false;
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+    double paid = 0.0;
+    for (const fl::FacilityEdge& e : inst.facility_edges(i)) {
+      const double beta =
+          alpha[static_cast<std::size_t>(e.client)] - e.cost;
+      if (beta > 0.0) paid += beta;
+    }
+    if (paid > inst.opening_cost(i) + tol) return false;
+  }
+  return true;
+}
+
+double cheapest_connection_bound(const fl::Instance& inst) {
+  double total = 0.0;
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j)
+    total += inst.client_edges(j).front().cost;  // sorted ascending
+  return total;
+}
+
+}  // namespace dflp::lp

@@ -1,0 +1,266 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dflp::lp {
+
+int LinearProgram::add_variable(double objective_coefficient) {
+  DFLP_CHECK(std::isfinite(objective_coefficient));
+  objective_.push_back(objective_coefficient);
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void LinearProgram::add_constraint(std::vector<std::pair<int, double>> terms,
+                                   Relation rel, double rhs) {
+  DFLP_CHECK(std::isfinite(rhs));
+  for (const auto& [var, coeff] : terms) {
+    DFLP_CHECK_MSG(var >= 0 && var < num_variables(),
+                   "constraint references unknown variable " << var);
+    DFLP_CHECK(std::isfinite(coeff));
+  }
+  rows_.push_back(Row{std::move(terms), rel, rhs});
+}
+
+namespace {
+
+/// Dense tableau: rows_ x cols_ where the last column is the RHS and the
+/// last row is the (phase-specific) objective.
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : rows_(rows), cols_(cols),
+                                data_(static_cast<std::size_t>(rows) *
+                                          static_cast<std::size_t>(cols),
+                                      0.0) {}
+
+  [[nodiscard]] double& at(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  /// Gauss–Jordan pivot on (pr, pc).
+  void pivot(int pr, int pc) {
+    const double p = at(pr, pc);
+    const double inv = 1.0 / p;
+    double* prow = &at(pr, 0);
+    for (int c = 0; c < cols_; ++c) prow[c] *= inv;
+    prow[pc] = 1.0;  // exact
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      double* row = &at(r, 0);
+      for (int c = 0; c < cols_; ++c) row[c] -= factor * prow[c];
+      row[pc] = 0.0;  // exact
+    }
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+struct StandardForm {
+  Tableau tab;            // (m + 1) x (total_vars + 1)
+  std::vector<int> basis;  // basic variable per constraint row
+  int num_structural;      // user vars + slacks/surplus (not artificials)
+  int first_artificial;    // index of first artificial var, or total if none
+  int total_vars;
+};
+
+/// Runs simplex iterations on the bottom-row objective. Returns the status.
+SolveStatus iterate(Tableau& tab, std::vector<int>& basis, int num_pricable,
+                    const SimplexOptions& opt, std::uint64_t* iterations) {
+  const int obj_row = tab.rows() - 1;
+  const int rhs_col = tab.cols() - 1;
+  const int m = tab.rows() - 1;
+  // Switch to Bland's rule (anti-cycling) once the iteration count grows
+  // suspicious; Dantzig pricing is faster in the common case.
+  const std::uint64_t bland_after = opt.max_iterations / 2;
+
+  while (true) {
+    if (*iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
+    ++*iterations;
+    const bool bland = *iterations > bland_after;
+
+    // Pricing: pick entering column with negative reduced cost.
+    int enter = -1;
+    double best = -opt.tolerance;
+    for (int c = 0; c < num_pricable; ++c) {
+      const double rc = tab.at(obj_row, c);
+      if (rc < best) {
+        best = rc;
+        enter = c;
+        if (bland) break;  // Bland: first eligible index
+      }
+    }
+    if (enter < 0) return SolveStatus::kOptimal;
+
+    // Ratio test: pick leaving row.
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m; ++r) {
+      const double a = tab.at(r, enter);
+      if (a <= opt.tolerance) continue;
+      const double ratio = tab.at(r, rhs_col) / a;
+      if (ratio < best_ratio - opt.tolerance ||
+          (bland && std::fabs(ratio - best_ratio) <= opt.tolerance &&
+           leave >= 0 && basis[static_cast<std::size_t>(r)] <
+                             basis[static_cast<std::size_t>(leave)])) {
+        best_ratio = ratio;
+        leave = r;
+      }
+    }
+    if (leave < 0) return SolveStatus::kUnbounded;
+
+    tab.pivot(leave, enter);
+    basis[static_cast<std::size_t>(leave)] = enter;
+  }
+}
+
+}  // namespace
+
+LpSolution solve(const LinearProgram& lp, const SimplexOptions& options) {
+  const int n = lp.num_variables();
+  const int m = lp.num_constraints();
+  DFLP_CHECK_MSG(n > 0, "LP has no variables");
+
+  // Count extra columns: one slack/surplus per inequality; artificials for
+  // kGe/kEq rows and for kLe rows with negative RHS (normalized below).
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const auto& row : lp.rows()) {
+    // Normalize to non-negative RHS by flipping sign; flipping turns kLe
+    // into kGe and vice versa.
+    const Relation rel =
+        row.rhs >= 0.0 ? row.rel
+                       : (row.rel == Relation::kLe
+                              ? Relation::kGe
+                              : (row.rel == Relation::kGe ? Relation::kLe
+                                                          : Relation::kEq));
+    if (rel != Relation::kEq) ++num_slack;
+    if (rel != Relation::kLe) ++num_artificial;
+  }
+
+  const int total = n + num_slack + num_artificial;
+  const int first_artificial = n + num_slack;
+  Tableau tab(m + 1, total + 1);
+  std::vector<int> basis(static_cast<std::size_t>(m), -1);
+
+  int slack_cursor = n;
+  int art_cursor = first_artificial;
+  for (int r = 0; r < m; ++r) {
+    const auto& row = lp.rows()[static_cast<std::size_t>(r)];
+    const double sign = row.rhs >= 0.0 ? 1.0 : -1.0;
+    const Relation rel =
+        sign > 0 ? row.rel
+                 : (row.rel == Relation::kLe
+                        ? Relation::kGe
+                        : (row.rel == Relation::kGe ? Relation::kLe
+                                                    : Relation::kEq));
+    for (const auto& [var, coeff] : row.terms) tab.at(r, var) += sign * coeff;
+    tab.at(r, total) = sign * row.rhs;
+
+    if (rel == Relation::kLe) {
+      tab.at(r, slack_cursor) = 1.0;
+      basis[static_cast<std::size_t>(r)] = slack_cursor;
+      ++slack_cursor;
+    } else if (rel == Relation::kGe) {
+      tab.at(r, slack_cursor) = -1.0;  // surplus
+      ++slack_cursor;
+      tab.at(r, art_cursor) = 1.0;
+      basis[static_cast<std::size_t>(r)] = art_cursor;
+      ++art_cursor;
+    } else {  // kEq
+      tab.at(r, art_cursor) = 1.0;
+      basis[static_cast<std::size_t>(r)] = art_cursor;
+      ++art_cursor;
+    }
+  }
+
+  std::uint64_t iterations = 0;
+  const int obj_row = m;
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_artificial > 0) {
+    for (int c = first_artificial; c < total; ++c) tab.at(obj_row, c) = 1.0;
+    // Make the objective row consistent with the basis (artificials basic).
+    for (int r = 0; r < m; ++r) {
+      if (basis[static_cast<std::size_t>(r)] >= first_artificial) {
+        for (int c = 0; c <= total; ++c)
+          tab.at(obj_row, c) -= tab.at(r, c);
+      }
+    }
+    const SolveStatus s1 = iterate(tab, basis, total, options, &iterations);
+    if (s1 == SolveStatus::kIterationLimit) return {s1, 0.0, {}};
+    DFLP_CHECK_MSG(s1 != SolveStatus::kUnbounded,
+                   "phase-1 objective cannot be unbounded");
+    const double phase1 = -tab.at(obj_row, total);
+    if (phase1 > 1e-6) return {SolveStatus::kInfeasible, 0.0, {}};
+
+    // Drive any artificial still in the basis out (degenerate rows).
+    for (int r = 0; r < m; ++r) {
+      if (basis[static_cast<std::size_t>(r)] < first_artificial) continue;
+      int pivot_col = -1;
+      for (int c = 0; c < first_artificial; ++c) {
+        if (std::fabs(tab.at(r, c)) > 1e-7) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        tab.pivot(r, pivot_col);
+        basis[static_cast<std::size_t>(r)] = pivot_col;
+      }
+      // else: the row is all-zero over structural vars (redundant
+      // constraint); the artificial stays basic at value 0, harmless.
+    }
+  }
+
+  // Phase 2: install the real objective, reduced against the basis.
+  for (int c = 0; c <= total; ++c) tab.at(obj_row, c) = 0.0;
+  for (int c = 0; c < n; ++c)
+    tab.at(obj_row, c) = lp.objective()[static_cast<std::size_t>(c)];
+  for (int r = 0; r < m; ++r) {
+    const int b = basis[static_cast<std::size_t>(r)];
+    if (b < n) {
+      const double coeff = lp.objective()[static_cast<std::size_t>(b)];
+      if (coeff != 0.0) {
+        for (int c = 0; c <= total; ++c)
+          tab.at(obj_row, c) -= coeff * tab.at(r, c);
+      }
+    }
+  }
+
+  // Price only structural columns in phase 2 so artificials never re-enter.
+  const SolveStatus s2 =
+      iterate(tab, basis, first_artificial, options, &iterations);
+  if (s2 != SolveStatus::kOptimal) return {s2, 0.0, {}};
+
+  LpSolution sol;
+  sol.status = SolveStatus::kOptimal;
+  sol.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = basis[static_cast<std::size_t>(r)];
+    if (b < n) sol.x[static_cast<std::size_t>(b)] = tab.at(r, total);
+  }
+  double obj = 0.0;
+  for (int c = 0; c < n; ++c)
+    obj += lp.objective()[static_cast<std::size_t>(c)] *
+           sol.x[static_cast<std::size_t>(c)];
+  sol.objective = obj;
+  return sol;
+}
+
+}  // namespace dflp::lp

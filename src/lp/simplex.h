@@ -1,0 +1,77 @@
+// Dense two-phase tableau simplex.
+//
+// This is the exact-LP substrate used to *measure* approximation ratios: the
+// benches and tests divide an algorithm's cost by the LP optimum, so the
+// reported factors are honest upper bounds on the true approximation ratio.
+// It is a straightforward, robust implementation (Dantzig pricing with a
+// Bland fallback against cycling), intended for the small-to-medium
+// instances used to measure ratios — not a production LP solver.
+//
+// Problem form: minimize c'x subject to per-row `a'x {<=,>=,=} b`, x >= 0.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dflp::lp {
+
+enum class Relation : std::uint8_t { kLe, kGe, kEq };
+
+enum class SolveStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< values of the user variables
+};
+
+/// A linear program under construction. Variables are implicitly >= 0.
+class LinearProgram {
+ public:
+  /// Adds a variable with the given objective coefficient; returns its index.
+  int add_variable(double objective_coefficient);
+
+  /// Adds a constraint `sum(coeff * x[var]) rel rhs`. Variable indices must
+  /// already exist; duplicate indices within one constraint are summed.
+  void add_constraint(std::vector<std::pair<int, double>> terms, Relation rel,
+                      double rhs);
+
+  [[nodiscard]] int num_variables() const noexcept {
+    return static_cast<int>(objective_.size());
+  }
+  [[nodiscard]] int num_constraints() const noexcept {
+    return static_cast<int>(rows_.size());
+  }
+
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel = Relation::kLe;
+    double rhs = 0.0;
+  };
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+  [[nodiscard]] const std::vector<double>& objective() const noexcept {
+    return objective_;
+  }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+};
+
+struct SimplexOptions {
+  std::uint64_t max_iterations = 200000;
+  double tolerance = 1e-9;
+};
+
+/// Solves `lp` (minimization). On kOptimal the solution carries the
+/// objective and the user-variable values; on other statuses `x` is empty.
+[[nodiscard]] LpSolution solve(const LinearProgram& lp,
+                               const SimplexOptions& options = {});
+
+}  // namespace dflp::lp

@@ -1,0 +1,60 @@
+#include "lp/ufl_lp.h"
+
+#include "common/check.h"
+
+namespace dflp::lp {
+
+LinearProgram build_ufl_lp(const fl::Instance& inst) {
+  LinearProgram lp;
+  const int m = inst.num_facilities();
+  const int n = inst.num_clients();
+
+  // Variable layout: y_0..y_{m-1}, then x in client-CSR edge order.
+  for (fl::FacilityId i = 0; i < m; ++i)
+    lp.add_variable(inst.opening_cost(i));
+  for (fl::ClientId j = 0; j < n; ++j) {
+    for (const fl::ClientEdge& e : inst.client_edges(j))
+      lp.add_variable(e.cost);
+  }
+
+  const auto x_var = [&](fl::ClientId j, std::size_t k) {
+    return m + static_cast<int>(inst.client_edge_offset(j) + k);
+  };
+
+  for (fl::ClientId j = 0; j < n; ++j) {
+    const auto edges = inst.client_edges(j);
+    std::vector<std::pair<int, double>> cover;
+    cover.reserve(edges.size());
+    for (std::size_t k = 0; k < edges.size(); ++k)
+      cover.emplace_back(x_var(j, k), 1.0);
+    lp.add_constraint(std::move(cover), Relation::kGe, 1.0);
+
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      lp.add_constraint({{x_var(j, k), 1.0},
+                         {static_cast<int>(edges[k].facility), -1.0}},
+                        Relation::kLe, 0.0);
+    }
+  }
+  return lp;
+}
+
+std::optional<UflLpResult> solve_ufl_lp(const fl::Instance& inst,
+                                        const SimplexOptions& options) {
+  const LinearProgram lp = build_ufl_lp(inst);
+  const LpSolution sol = solve(lp, options);
+  if (sol.status == SolveStatus::kIterationLimit) return std::nullopt;
+  DFLP_CHECK_MSG(sol.status == SolveStatus::kOptimal,
+                 "UFL LP must be feasible and bounded");
+
+  UflLpResult result{sol.status, sol.objective,
+                     fl::FractionalSolution(inst)};
+  const int m = inst.num_facilities();
+  for (fl::FacilityId i = 0; i < m; ++i)
+    result.fractional.y[static_cast<std::size_t>(i)] =
+        sol.x[static_cast<std::size_t>(i)];
+  for (std::size_t k = 0; k < inst.total_client_edges(); ++k)
+    result.fractional.x[k] = sol.x[static_cast<std::size_t>(m) + k];
+  return result;
+}
+
+}  // namespace dflp::lp

@@ -1,0 +1,37 @@
+// The UFL LP relaxation, built on the simplex substrate.
+//
+//   minimize   sum_i f_i y_i + sum_(ij) c_ij x_ij
+//   subject to sum_i x_ij >= 1          (every client j fractionally served)
+//              x_ij <= y_i              (can only use open capacity)
+//              x, y >= 0
+//
+// The (y <= 1) box constraints are deliberately omitted: they never bind at
+// an optimum of this minimization, and omitting them keeps the tableau
+// smaller. The LP optimum is a lower bound on the integral optimum, which is
+// exactly how the experiment harness uses it.
+#pragma once
+
+#include <optional>
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+#include "lp/simplex.h"
+
+namespace dflp::lp {
+
+struct UflLpResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double optimum = 0.0;
+  fl::FractionalSolution fractional;
+};
+
+/// Builds the UFL LP for `inst` (exposed for tests that inspect the model).
+[[nodiscard]] LinearProgram build_ufl_lp(const fl::Instance& inst);
+
+/// Solves the UFL LP relaxation exactly. Intended for instances up to a few
+/// hundred edges (the tableau is dense). Returns nullopt if the solver hits
+/// its iteration limit.
+[[nodiscard]] std::optional<UflLpResult> solve_ufl_lp(
+    const fl::Instance& inst, const SimplexOptions& options = {});
+
+}  // namespace dflp::lp

@@ -1,0 +1,22 @@
+#include "netsim/message.h"
+
+#include <bit>
+
+namespace dflp::net {
+
+int bits_for_value(std::int64_t v) noexcept {
+  const std::uint64_t mag =
+      v < 0 ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  if (mag == 0) return 1;
+  return 64 - std::countl_zero(mag) + 1;  // +1 sign bit
+}
+
+int min_message_bits(const Message& msg) noexcept {
+  int bits = 8;  // opcode
+  for (std::int64_t word : msg.field) {
+    if (word != 0) bits += bits_for_value(word);
+  }
+  return bits;
+}
+
+}  // namespace dflp::net

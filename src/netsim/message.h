@@ -1,0 +1,41 @@
+// Wire format for the CONGEST simulator.
+//
+// The CONGEST model allows each node to send one message of O(log N) bits
+// per incident edge per synchronous round. The simulator makes that budget
+// *checkable*: every message carries a declared wire size in bits, and the
+// network rejects (throws) any send whose declared size exceeds the round
+// budget or which under-declares relative to its payload magnitudes. This is
+// how the tests assert that the reconstructed algorithms really are CONGEST
+// algorithms rather than LOCAL algorithms in disguise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dflp::net {
+
+/// Node identifier within one simulated network (dense, 0-based).
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// A single message. `kind` is a protocol-defined opcode; `field` holds up
+/// to three integer payload words (costs are transported quantized — see
+/// core/quantize.h). `bits` is the declared on-wire size.
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint8_t kind = 0;
+  std::array<std::int64_t, 3> field{0, 0, 0};
+  int bits = 0;
+};
+
+/// Number of bits needed to represent |v| plus a sign bit; 1 for v == 0.
+[[nodiscard]] int bits_for_value(std::int64_t v) noexcept;
+
+/// Minimum honest wire size for a message: opcode (8 bits) plus the bits of
+/// every nonzero payload word. The network checks `msg.bits >=
+/// min_message_bits(msg)` so algorithms cannot cheat the budget by
+/// under-declaring.
+[[nodiscard]] int min_message_bits(const Message& msg) noexcept;
+
+}  // namespace dflp::net

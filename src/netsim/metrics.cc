@@ -1,0 +1,16 @@
+#include "netsim/metrics.h"
+
+#include <sstream>
+
+namespace dflp::net {
+
+std::string NetMetrics::to_string() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " messages=" << messages
+     << " total_bits=" << total_bits << " max_msg_bits=" << max_message_bits
+     << " max_msgs_in_round=" << max_messages_in_round;
+  if (dropped > 0) os << " dropped=" << dropped;
+  return os.str();
+}
+
+}  // namespace dflp::net

@@ -1,0 +1,246 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathx.h"
+
+namespace dflp::net {
+
+int congest_bit_budget(std::size_t num_nodes) noexcept {
+  return 4 * ceil_log2(static_cast<std::uint64_t>(num_nodes) + 2) + 16;
+}
+
+void NodeContext::send(NodeId to, std::uint8_t kind,
+                       std::array<std::int64_t, 3> fields, int bits) {
+  sink_->sink_send(self_, to, kind, fields, bits);
+}
+
+void NodeContext::broadcast(std::uint8_t kind,
+                            std::array<std::int64_t, 3> fields, int bits) {
+  for (NodeId nb : neighbors_)
+    sink_->sink_send(self_, nb, kind, fields, bits);
+}
+
+void NodeContext::halt() noexcept { sink_->sink_halt(self_); }
+
+Network::Network(std::size_t num_nodes, Options options)
+    : options_(options),
+      processes_(num_nodes),
+      halted_(num_nodes, 0),
+      inboxes_(num_nodes),
+      net_rng_(options.seed) {
+  DFLP_CHECK_MSG(num_nodes > 0, "empty network");
+  DFLP_CHECK_MSG(options_.bit_budget >= 8, "budget below opcode size");
+  DFLP_CHECK_MSG(options_.max_msgs_per_edge_per_round >= 1,
+                 "edge allowance must be positive");
+  DFLP_CHECK(options_.drop_probability >= 0.0 &&
+             options_.drop_probability <= 1.0);
+}
+
+void Network::add_edge(NodeId u, NodeId v) {
+  DFLP_CHECK_MSG(!finalized_, "add_edge after finalize");
+  const auto n = static_cast<NodeId>(processes_.size());
+  DFLP_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
+                 "edge (" << u << "," << v << ") out of range, n=" << n);
+  DFLP_CHECK_MSG(u != v, "self loop at node " << u);
+  edge_buffer_.emplace_back(u, v);
+}
+
+void Network::finalize() {
+  DFLP_CHECK_MSG(!finalized_, "finalize called twice");
+  const std::size_t n = processes_.size();
+
+  std::vector<std::int32_t> degree(n, 0);
+  for (auto [u, v] : edge_buffer_) {
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  }
+  adj_offset_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    adj_offset_[i + 1] = adj_offset_[i] + degree[i];
+  adj_.assign(static_cast<std::size_t>(adj_offset_[n]), kNoNode);
+  std::vector<std::int32_t> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
+  for (auto [u, v] : edge_buffer_) {
+    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    auto begin = adj_.begin() + adj_offset_[i];
+    auto end = adj_.begin() + adj_offset_[i + 1];
+    std::sort(begin, end);
+    DFLP_CHECK_MSG(std::adjacent_find(begin, end) == end,
+                   "duplicate edge at node " << i);
+  }
+  num_edges_ = edge_buffer_.size();
+  edge_buffer_.clear();
+  edge_buffer_.shrink_to_fit();
+
+  node_rngs_.reserve(n);
+  Rng seeder(options_.seed);
+  for (std::size_t i = 0; i < n; ++i) node_rngs_.push_back(seeder.split(i));
+
+  edge_sends_.assign(adj_.size(), 0);
+  finalized_ = true;
+}
+
+void Network::set_process(NodeId id, std::unique_ptr<Process> process) {
+  DFLP_CHECK_MSG(finalized_, "set_process before finalize");
+  DFLP_CHECK(process != nullptr);
+  auto& slot = processes_.at(static_cast<std::size_t>(id));
+  DFLP_CHECK_MSG(slot == nullptr, "process already set for node " << id);
+  slot = std::move(process);
+}
+
+std::span<const NodeId> Network::neighbors_of(NodeId id) const {
+  DFLP_CHECK(finalized_);
+  const auto i = static_cast<std::size_t>(id);
+  DFLP_CHECK(i < processes_.size());
+  return {adj_.data() + adj_offset_[i],
+          static_cast<std::size_t>(adj_offset_[i + 1] - adj_offset_[i])};
+}
+
+bool Network::halted(NodeId id) const {
+  return halted_.at(static_cast<std::size_t>(id)) != 0;
+}
+
+bool Network::all_halted() const noexcept {
+  return std::all_of(halted_.begin(), halted_.end(),
+                     [](std::uint8_t h) { return h != 0; });
+}
+
+Process& Network::process(NodeId id) {
+  auto& p = processes_.at(static_cast<std::size_t>(id));
+  DFLP_CHECK_MSG(p != nullptr, "no process at node " << id);
+  return *p;
+}
+
+const Process& Network::process(NodeId id) const {
+  const auto& p = processes_.at(static_cast<std::size_t>(id));
+  DFLP_CHECK_MSG(p != nullptr, "no process at node " << id);
+  return *p;
+}
+
+bool Network::is_neighbor(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors_of(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void Network::sink_halt(NodeId node) {
+  halted_[static_cast<std::size_t>(node)] = 1;
+}
+
+void Network::sink_send(NodeId from, NodeId to, std::uint8_t kind,
+                        std::array<std::int64_t, 3> fields, int bits) {
+  DFLP_CHECK_MSG(from == current_sender_,
+                 "send outside the sender's own round step");
+  const auto nbrs = neighbors_of(from);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+  DFLP_CHECK_MSG(it != nbrs.end() && *it == to,
+                 "node " << from << " is not adjacent to " << to);
+
+  Message msg;
+  msg.src = from;
+  msg.dst = to;
+  msg.kind = kind;
+  msg.field = fields;
+  const int honest = min_message_bits(msg);
+  msg.bits = bits < 0 ? honest : bits;
+  DFLP_CHECK_MSG(msg.bits >= honest,
+                 "declared " << msg.bits << " bits < honest size " << honest);
+  DFLP_CHECK_MSG(msg.bits <= options_.bit_budget,
+                 "message of " << msg.bits << " bits exceeds CONGEST budget "
+                               << options_.bit_budget << " (kind="
+                               << static_cast<int>(kind) << ")");
+
+  const auto slot = static_cast<std::size_t>(
+      adj_offset_[static_cast<std::size_t>(from)] + (it - nbrs.begin()));
+  DFLP_CHECK_MSG(edge_sends_[slot] < options_.max_msgs_per_edge_per_round,
+                 "edge allowance exceeded on " << from << "->" << to
+                                               << " in round " << round_);
+  ++edge_sends_[slot];
+
+  outbox_.push_back(msg);
+}
+
+NetMetrics Network::run(std::uint64_t max_rounds) {
+  DFLP_CHECK_MSG(finalized_, "run before finalize");
+  for (std::size_t i = 0; i < processes_.size(); ++i)
+    DFLP_CHECK_MSG(processes_[i] != nullptr, "node " << i << " has no process");
+
+  NetMetrics run_metrics;
+  for (std::uint64_t step = 0; step < max_rounds; ++step) {
+    // Quiescence: everyone halted and nothing queued for delivery.
+    const bool inflight = std::any_of(
+        inboxes_.begin(), inboxes_.end(),
+        [](const std::vector<Message>& ib) { return !ib.empty(); });
+    if (all_halted() && !inflight && outbox_.empty()) break;
+
+    // Step every live node with its inbox.
+    std::uint64_t sent_this_round = 0;
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      auto& inbox = inboxes_[i];
+      if (halted_[i]) {
+        inbox.clear();
+        continue;
+      }
+      switch (options_.delivery) {
+        case DeliveryOrder::kBySource:
+          std::sort(inbox.begin(), inbox.end(),
+                    [](const Message& a, const Message& b) {
+                      return a.src < b.src;
+                    });
+          break;
+        case DeliveryOrder::kReverseSource:
+          std::sort(inbox.begin(), inbox.end(),
+                    [](const Message& a, const Message& b) {
+                      return a.src > b.src;
+                    });
+          break;
+        case DeliveryOrder::kRandomShuffle:
+          net_rng_.shuffle(inbox.begin(), inbox.end());
+          break;
+      }
+      const auto id = static_cast<NodeId>(i);
+      NodeContext ctx(*this, id, round_, neighbors_of(id), node_rngs_[i]);
+      current_sender_ = id;
+      const std::size_t outbox_before = outbox_.size();
+      processes_[i]->on_round(ctx, std::span<const Message>(inbox));
+      sent_this_round += outbox_.size() - outbox_before;
+      current_sender_ = kNoNode;
+      inbox.clear();
+    }
+
+    // Deliver: move outbox into next round's inboxes, applying faults.
+    for (Message& msg : outbox_) {
+      if (options_.drop_probability > 0.0 &&
+          net_rng_.bernoulli(options_.drop_probability)) {
+        ++run_metrics.dropped;
+        continue;
+      }
+      run_metrics.messages += 1;
+      run_metrics.total_bits += static_cast<std::uint64_t>(msg.bits);
+      run_metrics.max_message_bits =
+          std::max(run_metrics.max_message_bits, msg.bits);
+      inboxes_[static_cast<std::size_t>(msg.dst)].push_back(msg);
+    }
+    outbox_.clear();
+    std::fill(edge_sends_.begin(), edge_sends_.end(), 0);
+    run_metrics.max_messages_in_round =
+        std::max(run_metrics.max_messages_in_round, sent_this_round);
+    run_metrics.rounds += 1;
+    round_ += 1;
+  }
+
+  cumulative_.rounds += run_metrics.rounds;
+  cumulative_.messages += run_metrics.messages;
+  cumulative_.total_bits += run_metrics.total_bits;
+  cumulative_.max_message_bits =
+      std::max(cumulative_.max_message_bits, run_metrics.max_message_bits);
+  cumulative_.max_messages_in_round = std::max(
+      cumulative_.max_messages_in_round, run_metrics.max_messages_in_round);
+  cumulative_.dropped += run_metrics.dropped;
+  return run_metrics;
+}
+
+}  // namespace dflp::net

@@ -1,0 +1,208 @@
+// Deterministic synchronous message-passing runtime (CONGEST model).
+//
+// Semantics
+// ---------
+// Time proceeds in synchronous rounds. In round r every non-halted node is
+// invoked once with the batch of messages addressed to it that were sent in
+// round r-1 (round 0 delivers an empty inbox — it is the initialization
+// round). During its invocation a node may send at most
+// `Options::max_msgs_per_edge_per_round` messages (default 1, the classic
+// CONGEST allowance) to each of its neighbours, each within the per-message
+// bit budget. Execution stops when every node has halted and no messages are
+// in flight, or when `max_rounds` elapses.
+//
+// Determinism
+// -----------
+// The runtime is single-threaded, nodes are stepped in id order, and each
+// node owns a private RNG stream derived from (network seed, node id). With
+// `DeliveryOrder::kBySource` the whole execution is a pure function of
+// (topology, processes, seed). `kRandomShuffle` permutes each inbox with the
+// *network* seed — still reproducible, but exercises order-independence.
+// `kReverseSource` is a cheap adversary for order-sensitivity tests.
+//
+// Fault injection
+// ---------------
+// `Options::drop_probability` drops each message independently (seeded).
+// The reconstructed algorithms are not fault-tolerant — the paper's model is
+// reliable — but the tests use drops to verify the *simulator's* accounting
+// and the algorithms' failure behaviour is graceful (they still terminate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "netsim/message.h"
+#include "netsim/metrics.h"
+
+namespace dflp::net {
+
+class Network;
+
+/// Transport abstraction NodeContext delegates to. The synchronous Network
+/// implements it directly; the alpha-synchronizer (netsim/async.h) provides
+/// an asynchronous implementation so the *same* Process code runs in both
+/// worlds.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void sink_send(NodeId from, NodeId to, std::uint8_t kind,
+                         std::array<std::int64_t, 3> fields, int bits) = 0;
+  virtual void sink_halt(NodeId node) = 0;
+};
+
+/// Per-invocation view a process gets of its node. Created fresh by the
+/// transport for every (node, round); cheap to copy around by reference.
+class NodeContext {
+ public:
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::span<const NodeId> neighbors() const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] int degree() const noexcept {
+    return static_cast<int>(neighbors_.size());
+  }
+
+  /// Per-node private randomness (stable across runs with the same seed).
+  [[nodiscard]] Rng& rng() noexcept { return *rng_; }
+
+  /// Queue a message for delivery next round. `to` must be a neighbour.
+  /// `bits` defaults to the honest minimum for the payload; passing a larger
+  /// value models padding, passing a smaller one throws.
+  void send(NodeId to, std::uint8_t kind,
+            std::array<std::int64_t, 3> fields = {0, 0, 0}, int bits = -1);
+
+  /// Send the same payload to every neighbour.
+  void broadcast(std::uint8_t kind,
+                 std::array<std::int64_t, 3> fields = {0, 0, 0},
+                 int bits = -1);
+
+  /// Mark this node as done. A halted node is no longer stepped; delivery
+  /// to a halted node is permitted but the inbox is discarded.
+  void halt() noexcept;
+
+  /// Constructs a context over any transport. Library users normally never
+  /// build one — Network and the synchronizer do.
+  NodeContext(MessageSink& sink, NodeId self, std::uint64_t round,
+              std::span<const NodeId> neighbors, Rng& rng)
+      : sink_(&sink), self_(self), round_(round), neighbors_(neighbors),
+        rng_(&rng) {}
+
+ private:
+  MessageSink* sink_;
+  NodeId self_;
+  std::uint64_t round_;
+  std::span<const NodeId> neighbors_;
+  Rng* rng_;
+};
+
+/// A node program. Implementations keep their protocol state as members and
+/// react to one round at a time.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once per round while the node is live. `inbox` holds messages
+  /// sent to this node in the previous round (empty in round 0).
+  virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
+};
+
+/// How each node's inbox is ordered before delivery.
+enum class DeliveryOrder : std::uint8_t {
+  kBySource,       ///< ascending source id (canonical deterministic order)
+  kRandomShuffle,  ///< seeded shuffle per inbox per round
+  kReverseSource,  ///< descending source id (simple adversary)
+};
+
+class Network final : public MessageSink {
+ public:
+  struct Options {
+    /// Per-message budget in bits. The canonical CONGEST budget for an
+    /// N-node network is `congest_bit_budget(N)`.
+    int bit_budget = 64;
+    /// Messages allowed per directed edge per round (CONGEST: 1).
+    int max_msgs_per_edge_per_round = 1;
+    DeliveryOrder delivery = DeliveryOrder::kBySource;
+    /// Independent drop probability per message (0 = reliable).
+    double drop_probability = 0.0;
+    /// Seed for node RNG streams, delivery shuffles and fault injection.
+    std::uint64_t seed = 1;
+  };
+
+  Network(std::size_t num_nodes, Options options);
+
+  /// Adds an undirected edge. Must be called before finalize(). Self loops
+  /// and duplicate edges are rejected.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Freezes the topology (builds adjacency) and derives per-node RNGs.
+  /// Must be called exactly once, before set_process()/run().
+  void finalize();
+
+  /// Installs the program for node `id` (finalize() first).
+  void set_process(NodeId id, std::unique_ptr<Process> process);
+
+  /// Runs until quiescence (all nodes halted, no messages in flight) or
+  /// until `max_rounds` have executed. Returns the metrics of this run.
+  /// Calling run() again resumes (useful for multi-stage pipelines).
+  NetMetrics run(std::uint64_t max_rounds);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return processes_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::span<const NodeId> neighbors_of(NodeId id) const;
+  [[nodiscard]] bool halted(NodeId id) const;
+  [[nodiscard]] bool all_halted() const noexcept;
+  [[nodiscard]] const NetMetrics& cumulative_metrics() const noexcept {
+    return cumulative_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Access to an installed process, e.g. to read out results after run().
+  [[nodiscard]] Process& process(NodeId id);
+  [[nodiscard]] const Process& process(NodeId id) const;
+
+  // MessageSink: used by NodeContext during a node's round step.
+  void sink_send(NodeId from, NodeId to, std::uint8_t kind,
+                 std::array<std::int64_t, 3> fields, int bits) override;
+  void sink_halt(NodeId node) override;
+
+ private:
+  [[nodiscard]] bool is_neighbor(NodeId u, NodeId v) const;
+
+  Options options_;
+  bool finalized_ = false;
+  std::size_t num_edges_ = 0;
+
+  // CSR adjacency (sorted neighbour lists).
+  std::vector<std::pair<NodeId, NodeId>> edge_buffer_;  // pre-finalize
+  std::vector<std::int32_t> adj_offset_;
+  std::vector<NodeId> adj_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Rng> node_rngs_;
+  std::vector<std::uint8_t> halted_;
+
+  // Double-buffered mailboxes.
+  std::vector<std::vector<Message>> inboxes_;   // delivered this round
+  std::vector<Message> outbox_;                 // sent this round
+  // Per-(src-slot,dst) send counters for the CONGEST edge allowance;
+  // reset each round. Indexed by position of dst in src's adjacency.
+  std::vector<std::int8_t> edge_sends_;
+  NodeId current_sender_ = kNoNode;
+
+  Rng net_rng_;
+  std::uint64_t round_ = 0;
+  NetMetrics cumulative_;
+};
+
+/// The canonical CONGEST per-message budget for an N-node network:
+/// 4 * ceil(log2(N + 2)) + 16 bits. The constant leaves room for an opcode
+/// and up to three log-sized payload words, mirroring the O(log N) bound.
+[[nodiscard]] int congest_bit_budget(std::size_t num_nodes) noexcept;
+
+}  // namespace dflp::net

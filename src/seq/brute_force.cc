@@ -1,0 +1,66 @@
+#include "seq/brute_force.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dflp::seq {
+
+std::optional<BruteForceResult> brute_force_solve(const fl::Instance& inst,
+                                                  int max_facilities) {
+  const std::int32_t m = inst.num_facilities();
+  const std::int32_t n = inst.num_clients();
+  if (m > max_facilities) return std::nullopt;
+  DFLP_CHECK_MSG(m <= 30, "subset enumeration over " << m
+                                                     << " facilities would "
+                                                        "overflow the mask");
+
+  double opening_sum[31];
+  for (fl::FacilityId i = 0; i < m; ++i)
+    opening_sum[i] = inst.opening_cost(i);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::uint32_t best_mask = 0;
+
+  const std::uint32_t limit = 1u << m;
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    double cost = 0.0;
+    for (fl::FacilityId i = 0; i < m; ++i)
+      if (mask & (1u << i)) cost += opening_sum[i];
+    if (cost >= best_cost) continue;  // opening alone already worse
+    bool feasible = true;
+    for (fl::ClientId j = 0; j < n && feasible; ++j) {
+      double cheapest = std::numeric_limits<double>::infinity();
+      for (const fl::ClientEdge& e : inst.client_edges(j)) {
+        if (mask & (1u << e.facility)) {
+          cheapest = e.cost;  // client edges are cost-sorted: first hit wins
+          break;
+        }
+      }
+      if (!std::isfinite(cheapest)) {
+        feasible = false;
+      } else {
+        cost += cheapest;
+        if (cost >= best_cost) feasible = false;  // prune
+      }
+    }
+    if (feasible && cost < best_cost) {
+      best_cost = cost;
+      best_mask = mask;
+    }
+  }
+
+  DFLP_CHECK_MSG(std::isfinite(best_cost),
+                 "no feasible subset — instance guarantees coverage, so the "
+                 "all-facilities subset must be feasible");
+
+  BruteForceResult result{fl::IntegralSolution(inst), best_cost};
+  for (fl::FacilityId i = 0; i < m; ++i)
+    if (best_mask & (1u << i)) result.solution.open(i);
+  result.solution.assign_greedily(inst);
+  result.solution.prune_unused(inst);
+  return result;
+}
+
+}  // namespace dflp::seq

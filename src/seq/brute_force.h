@@ -1,0 +1,23 @@
+// Exhaustive optimum for small instances: enumerates all facility subsets.
+// This is the ground truth the property tests measure every algorithm
+// against (and certify LP optimum <= OPT against).
+#pragma once
+
+#include <optional>
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::seq {
+
+struct BruteForceResult {
+  fl::IntegralSolution solution;
+  double optimum = 0.0;
+};
+
+/// Exact optimum via subset enumeration. Refuses instances with more than
+/// `max_facilities` facilities (2^m blowup); returns nullopt then.
+[[nodiscard]] std::optional<BruteForceResult> brute_force_solve(
+    const fl::Instance& inst, int max_facilities = 20);
+
+}  // namespace dflp::seq

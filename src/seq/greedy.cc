@@ -1,0 +1,102 @@
+#include "seq/greedy.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dflp::seq {
+
+double best_star_ratio(const fl::Instance& inst, fl::FacilityId i,
+                       const std::vector<std::uint8_t>& covered,
+                       bool already_open, int* star_size) {
+  // facility_edges are sorted by ascending cost, so the best star is a
+  // prefix of the uncovered neighbours.
+  double num = already_open ? 0.0 : inst.opening_cost(i);
+  double best = std::numeric_limits<double>::infinity();
+  int best_size = 0;
+  int size = 0;
+  for (const fl::FacilityEdge& e : inst.facility_edges(i)) {
+    if (covered[static_cast<std::size_t>(e.client)]) continue;
+    num += e.cost;
+    ++size;
+    const double ratio = num / static_cast<double>(size);
+    if (ratio < best) {
+      best = ratio;
+      best_size = size;
+    }
+  }
+  if (star_size != nullptr) *star_size = best_size;
+  return best;
+}
+
+GreedyResult greedy_solve(const fl::Instance& inst) {
+  const std::int32_t m = inst.num_facilities();
+  const std::int32_t n = inst.num_clients();
+
+  GreedyResult result{fl::IntegralSolution(inst), 0};
+  std::vector<std::uint8_t> covered(static_cast<std::size_t>(n), 0);
+  std::int32_t num_covered = 0;
+
+  struct Entry {
+    double ratio;
+    fl::FacilityId facility;
+    bool operator>(const Entry& other) const { return ratio > other.ratio; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (fl::FacilityId i = 0; i < m; ++i) {
+    const double r = best_star_ratio(inst, i, covered, false);
+    if (std::isfinite(r)) heap.push({r, i});
+  }
+
+  while (num_covered < n) {
+    DFLP_CHECK_MSG(!heap.empty(),
+                   "greedy ran out of candidate stars with clients "
+                   "uncovered — instance should guarantee coverage");
+    const Entry top = heap.top();
+    heap.pop();
+    const fl::FacilityId i = top.facility;
+    // Lazy re-evaluation: coverage may have advanced since this entry was
+    // pushed, which can only make the true ratio worse (larger) — except
+    // that opening a facility elsewhere never affects i. Re-check and
+    // reinsert unless still the best.
+    int star = 0;
+    const double fresh =
+        best_star_ratio(inst, i, covered, result.solution.is_open(i), &star);
+    if (!std::isfinite(fresh)) continue;  // no uncovered neighbours left
+    if (!heap.empty() && fresh > heap.top().ratio + 1e-15) {
+      heap.push({fresh, i});
+      continue;
+    }
+
+    // Commit the star: open i (if needed) and cover its `star` cheapest
+    // uncovered neighbours.
+    ++result.iterations;
+    result.solution.open(i);
+    int taken = 0;
+    for (const fl::FacilityEdge& e : inst.facility_edges(i)) {
+      if (taken == star) break;
+      if (covered[static_cast<std::size_t>(e.client)]) continue;
+      covered[static_cast<std::size_t>(e.client)] = 1;
+      result.solution.assign(e.client, i);
+      ++num_covered;
+      ++taken;
+    }
+    DFLP_CHECK(taken == star);
+    // The facility is now open: its future stars are cheaper (no opening
+    // cost), so refresh its entry immediately.
+    const double next =
+        best_star_ratio(inst, i, covered, /*already_open=*/true);
+    if (std::isfinite(next)) heap.push({next, i});
+  }
+
+  // Clients may have later been absorbed into cheaper stars of other
+  // facilities; reassign each to its cheapest open neighbour and drop any
+  // facility this leaves unused.
+  result.solution.assign_greedily(inst);
+  result.solution.prune_unused(inst);
+  return result;
+}
+
+}  // namespace dflp::seq

@@ -1,0 +1,37 @@
+// Centralized greedy (Hochbaum 1982): the classic H_n-approximation for
+// non-metric UFL and the algorithm whose behaviour the PODC'05 distributed
+// scheme approaches as its locality parameter k grows. This is the primary
+// centralized comparator in the benches.
+#pragma once
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::seq {
+
+struct GreedyResult {
+  fl::IntegralSolution solution;
+  /// Number of star-selection iterations (each covers >= 1 client).
+  int iterations = 0;
+};
+
+/// Repeatedly picks the star (facility + subset of still-uncovered
+/// neighbours) with the best cost-effectiveness
+///   (opening cost if not yet open + sum of connection costs) / |subset|
+/// until every client is covered. Guarantees cost <= H_n * OPT.
+/// Implementation uses a lazy priority queue over facilities, re-evaluating
+/// a facility's best star only when it surfaces, so the common case is
+/// O(E log E)-ish rather than O(n * E).
+[[nodiscard]] GreedyResult greedy_solve(const fl::Instance& inst);
+
+/// Cost-effectiveness of facility `i`'s best star against `covered`
+/// (true = already covered); `already_open` discounts the opening cost.
+/// Returns +inf when no uncovered neighbour exists. Exposed for tests and
+/// for the distributed algorithm's reference semantics.
+[[nodiscard]] double best_star_ratio(const fl::Instance& inst,
+                                     fl::FacilityId i,
+                                     const std::vector<std::uint8_t>& covered,
+                                     bool already_open,
+                                     int* star_size = nullptr);
+
+}  // namespace dflp::seq

@@ -1,0 +1,136 @@
+#include "seq/jain_vazirani.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "lp/dual_ascent.h"
+
+namespace dflp::seq {
+
+JvResult jain_vazirani_solve(const fl::Instance& inst) {
+  const std::int32_t m = inst.num_facilities();
+  const std::int32_t n = inst.num_clients();
+
+  const lp::DualAscentResult dual = lp::dual_ascent_bound(inst);
+
+  // Temporarily-open facilities: those whose budget went tight, ordered by
+  // tight time (the JV phase-2 processing order).
+  std::vector<fl::FacilityId> temp_open;
+  for (fl::FacilityId i = 0; i < m; ++i) {
+    if (std::isfinite(dual.tight_time[static_cast<std::size_t>(i)]))
+      temp_open.push_back(i);
+  }
+  std::sort(temp_open.begin(), temp_open.end(),
+            [&](fl::FacilityId a, fl::FacilityId b) {
+              const double ta = dual.tight_time[static_cast<std::size_t>(a)];
+              const double tb = dual.tight_time[static_cast<std::size_t>(b)];
+              if (ta != tb) return ta < tb;
+              return a < b;
+            });
+
+  // A client "specially contributes" to facility i when alpha_j > c_ij and
+  // i is temporarily open: these positive contributions define the conflict
+  // graph (two temp-open facilities conflict when they share a contributing
+  // client).
+  std::vector<std::uint8_t> is_temp(static_cast<std::size_t>(m), 0);
+  for (fl::FacilityId i : temp_open) is_temp[static_cast<std::size_t>(i)] = 1;
+
+  constexpr double kTol = 1e-9;
+  // Per-client list of temp-open facilities it contributes to (positive
+  // beta); client degrees are small so flat vectors suffice.
+  std::vector<std::vector<fl::FacilityId>> contributes(
+      static_cast<std::size_t>(n));
+  for (fl::ClientId j = 0; j < n; ++j) {
+    const double aj = dual.alpha[static_cast<std::size_t>(j)];
+    for (const fl::ClientEdge& e : inst.client_edges(j)) {
+      if (is_temp[static_cast<std::size_t>(e.facility)] &&
+          aj > e.cost + kTol) {
+        contributes[static_cast<std::size_t>(j)].push_back(e.facility);
+      }
+    }
+  }
+
+  // Greedy maximal independent set in tight-time order. `blocker[i]` is the
+  // already-open facility that excluded temp-open facility i.
+  JvResult result{fl::IntegralSolution(inst), dual.lower_bound, 0};
+  result.temporarily_open = static_cast<int>(temp_open.size());
+  std::vector<fl::FacilityId> blocker(static_cast<std::size_t>(m),
+                                      fl::kNoFacility);
+  for (fl::FacilityId i : temp_open) {
+    fl::FacilityId conflict = fl::kNoFacility;
+    // Find a conflicting open facility via shared contributing clients.
+    for (const fl::FacilityEdge& e : inst.facility_edges(i)) {
+      for (fl::FacilityId other :
+           contributes[static_cast<std::size_t>(e.client)]) {
+        if (other != i && result.solution.is_open(other)) {
+          // The shared client must actually contribute to *both*.
+          const double aj = dual.alpha[static_cast<std::size_t>(e.client)];
+          if (aj > e.cost + kTol) {
+            conflict = other;
+            break;
+          }
+        }
+      }
+      if (conflict != fl::kNoFacility) break;
+    }
+    if (conflict == fl::kNoFacility) {
+      result.solution.open(i);
+    } else {
+      blocker[static_cast<std::size_t>(i)] = conflict;
+    }
+  }
+
+  // Assignment. Directly-connected first (contributing to an open
+  // facility), then indirectly via the witness's blocker, then the generic
+  // fallback that keeps the solution feasible on sparse instances.
+  for (fl::ClientId j = 0; j < n; ++j) {
+    fl::FacilityId target = fl::kNoFacility;
+    double target_cost = std::numeric_limits<double>::infinity();
+    for (fl::FacilityId i : contributes[static_cast<std::size_t>(j)]) {
+      if (result.solution.is_open(i)) {
+        const double c = inst.connection_cost(i, j);
+        if (c < target_cost) {
+          target = i;
+          target_cost = c;
+        }
+      }
+    }
+    if (target == fl::kNoFacility) {
+      // Indirect connection: the witness was temp-open; if it lost to a
+      // blocker adjacent to j, use the blocker (the metric 3-approx path).
+      const fl::FacilityId w = dual.witness[static_cast<std::size_t>(j)];
+      if (w != fl::kNoFacility) {
+        fl::FacilityId via = result.solution.is_open(w)
+                                 ? w
+                                 : blocker[static_cast<std::size_t>(w)];
+        if (via != fl::kNoFacility && result.solution.is_open(via) &&
+            std::isfinite(inst.connection_cost(via, j))) {
+          target = via;
+        }
+      }
+    }
+    if (target == fl::kNoFacility) {
+      // Fallback: cheapest open adjacent facility, else open the client's
+      // cheapest facility outright. Keeps feasibility on any instance.
+      for (const fl::ClientEdge& e : inst.client_edges(j)) {
+        if (result.solution.is_open(e.facility)) {
+          target = e.facility;
+          break;
+        }
+      }
+      if (target == fl::kNoFacility) {
+        target = inst.client_edges(j).front().facility;
+        result.solution.open(target);
+      }
+    }
+    result.solution.assign(j, target);
+  }
+
+  result.solution.assign_greedily(inst);  // tighten to cheapest open
+  result.solution.prune_unused(inst);
+  return result;
+}
+
+}  // namespace dflp::seq

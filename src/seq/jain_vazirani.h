@@ -1,0 +1,31 @@
+// Jain–Vazirani primal–dual algorithm (JV, JACM 2001): 3-approximation for
+// *metric* UFL. Reconstructed centralized baseline for the metric instance
+// families (the PODC'05 paper positions itself against LP-based centralized
+// algorithms; JV is the canonical one).
+//
+// Phase 1 (dual growth) is exactly the dual ascent in lp/dual_ascent.h; this
+// module consumes its tight-times/witnesses and runs phase 2 (conflict
+// resolution among temporarily-open facilities) plus assignment.
+//
+// On non-metric or non-complete bipartite instances the 3-approximation
+// guarantee does not apply; the implementation still always returns a
+// feasible solution (falling back to a client's cheapest open-or-opened
+// neighbour where the metric argument would have routed through a
+// non-adjacent facility).
+#pragma once
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::seq {
+
+struct JvResult {
+  fl::IntegralSolution solution;
+  /// Value of the phase-1 dual: a valid lower bound on OPT.
+  double dual_lower_bound = 0.0;
+  int temporarily_open = 0;
+};
+
+[[nodiscard]] JvResult jain_vazirani_solve(const fl::Instance& inst);
+
+}  // namespace dflp::seq

@@ -1,0 +1,23 @@
+// Jain–Mahdian–Saberi greedy (STOC 2002): the "greedy with rebates"
+// 1.861-approximation for metric UFL. Reconstructed centralized baseline.
+//
+// Like plain greedy, but already-connected clients may offer a rebate equal
+// to the savings of switching to the candidate facility, which both lowers
+// the candidate's effective cost and lets the algorithm improve earlier
+// decisions. On non-metric instances the constant-factor guarantee does not
+// apply, but the algorithm remains well-defined and feasible.
+#pragma once
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::seq {
+
+struct JmsResult {
+  fl::IntegralSolution solution;
+  int iterations = 0;
+};
+
+[[nodiscard]] JmsResult jms_solve(const fl::Instance& inst);
+
+}  // namespace dflp::seq

@@ -1,0 +1,233 @@
+#include "seq/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "seq/trivial.h"
+
+namespace dflp::seq {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mutable search state: the open set plus, per client, its cheapest and
+/// second-cheapest *open* facilities (the second is what a drop move falls
+/// back to).
+struct State {
+  const fl::Instance* inst;
+  std::vector<std::uint8_t> open;
+  std::vector<fl::FacilityId> best;
+  std::vector<double> best_cost;
+  std::vector<fl::FacilityId> second;
+  std::vector<double> second_cost;
+
+  explicit State(const fl::Instance& instance)
+      : inst(&instance),
+        open(static_cast<std::size_t>(instance.num_facilities()), 0),
+        best(static_cast<std::size_t>(instance.num_clients()),
+             fl::kNoFacility),
+        best_cost(static_cast<std::size_t>(instance.num_clients()), kInf),
+        second(static_cast<std::size_t>(instance.num_clients()),
+               fl::kNoFacility),
+        second_cost(static_cast<std::size_t>(instance.num_clients()), kInf) {}
+
+  /// Recomputes best/second for every client: O(E).
+  void refresh() {
+    for (fl::ClientId j = 0; j < inst->num_clients(); ++j) {
+      best[static_cast<std::size_t>(j)] = fl::kNoFacility;
+      best_cost[static_cast<std::size_t>(j)] = kInf;
+      second[static_cast<std::size_t>(j)] = fl::kNoFacility;
+      second_cost[static_cast<std::size_t>(j)] = kInf;
+      for (const fl::ClientEdge& e : inst->client_edges(j)) {  // cost order
+        if (!open[static_cast<std::size_t>(e.facility)]) continue;
+        if (e.cost < best_cost[static_cast<std::size_t>(j)]) {
+          second[static_cast<std::size_t>(j)] =
+              best[static_cast<std::size_t>(j)];
+          second_cost[static_cast<std::size_t>(j)] =
+              best_cost[static_cast<std::size_t>(j)];
+          best[static_cast<std::size_t>(j)] = e.facility;
+          best_cost[static_cast<std::size_t>(j)] = e.cost;
+        } else if (e.cost < second_cost[static_cast<std::size_t>(j)]) {
+          second[static_cast<std::size_t>(j)] = e.facility;
+          second_cost[static_cast<std::size_t>(j)] = e.cost;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double total_cost() const {
+    double cost = 0.0;
+    for (fl::FacilityId i = 0; i < inst->num_facilities(); ++i)
+      if (open[static_cast<std::size_t>(i)]) cost += inst->opening_cost(i);
+    for (fl::ClientId j = 0; j < inst->num_clients(); ++j) {
+      DFLP_CHECK(best[static_cast<std::size_t>(j)] != fl::kNoFacility);
+      cost += best_cost[static_cast<std::size_t>(j)];
+    }
+    return cost;
+  }
+
+  /// Gain (cost decrease) of opening closed facility `i`.
+  [[nodiscard]] double add_gain(fl::FacilityId i) const {
+    double gain = -inst->opening_cost(i);
+    for (const fl::FacilityEdge& e : inst->facility_edges(i)) {
+      const double cur = best_cost[static_cast<std::size_t>(e.client)];
+      if (e.cost < cur) gain += cur - e.cost;
+    }
+    return gain;
+  }
+
+  /// Gain of closing open facility `i`. Requires every client of `i` to
+  /// have a fallback (second-best open); returns -inf otherwise.
+  [[nodiscard]] double drop_gain(fl::FacilityId i) const {
+    double gain = inst->opening_cost(i);
+    for (const fl::FacilityEdge& e : inst->facility_edges(i)) {
+      const auto j = static_cast<std::size_t>(e.client);
+      if (best[j] != i) continue;
+      if (second[j] == fl::kNoFacility) return -kInf;  // would orphan j
+      gain -= second_cost[j] - best_cost[j];
+    }
+    return gain;
+  }
+
+  /// Gain of swapping in closed `in` and dropping open `out`, computed by
+  /// a virtual reassignment pass over affected clients: O(E_in + E_out).
+  [[nodiscard]] double swap_gain(fl::FacilityId in, fl::FacilityId out) const {
+    double gain = inst->opening_cost(out) - inst->opening_cost(in);
+    // Clients that may change: neighbours of `in` (can improve) and clients
+    // assigned to `out` (must move). Handle overlap once via the union scan
+    // of both edge lists.
+    // New cost for client j = min(c_in(j) if adjacent, best excluding out,
+    //                             second excluding out...).
+    auto cost_after = [&](fl::ClientId j, double c_in) {
+      const auto idx = static_cast<std::size_t>(j);
+      double base;
+      if (best[idx] == out) {
+        base = second[idx] == fl::kNoFacility ? kInf : second_cost[idx];
+        if (second[idx] == in) base = kInf;  // `in` handled via c_in
+      } else {
+        base = best_cost[idx];
+      }
+      return std::min(base, c_in);
+    };
+    std::vector<std::pair<fl::ClientId, double>> touched;
+    for (const fl::FacilityEdge& e : inst->facility_edges(in))
+      touched.emplace_back(e.client, e.cost);
+    for (const fl::FacilityEdge& e : inst->facility_edges(out)) {
+      if (best[static_cast<std::size_t>(e.client)] == out &&
+          !std::isfinite(inst->connection_cost(in, e.client)))
+        touched.emplace_back(e.client, kInf);
+    }
+    std::sort(touched.begin(), touched.end());
+    fl::ClientId prev = -1;
+    for (const auto& [j, c_in] : touched) {
+      if (j == prev) continue;  // dedupe: the `in` edge entry comes first
+      prev = j;
+      const double after = cost_after(j, c_in);
+      if (!std::isfinite(after)) return -kInf;  // would orphan j
+      gain += best_cost[static_cast<std::size_t>(j)] - after;
+    }
+    return gain;
+  }
+
+  void apply_open(fl::FacilityId i) {
+    open[static_cast<std::size_t>(i)] = 1;
+    refresh();
+  }
+  void apply_close(fl::FacilityId i) {
+    open[static_cast<std::size_t>(i)] = 0;
+    refresh();
+  }
+};
+
+}  // namespace
+
+LocalSearchResult local_search_solve(const fl::Instance& inst,
+                                     const LocalSearchOptions& options) {
+  DFLP_CHECK(options.eps >= 0.0);
+
+  State state(inst);
+  // Feasible start: the nearest-facility heuristic's open set.
+  {
+    const fl::IntegralSolution start = nearest_facility_solve(inst);
+    for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i)
+      if (start.is_open(i)) state.open[static_cast<std::size_t>(i)] = 1;
+    state.refresh();
+  }
+
+  LocalSearchResult result{fl::IntegralSolution(inst), 0, 0};
+  double cost = state.total_cost();
+
+  while (result.moves_applied < options.max_moves) {
+    ++result.iterations;
+    const double threshold =
+        options.eps * cost /
+        std::max(1, inst.num_facilities());
+
+    // Best single move across the neighbourhood.
+    double best_gain = threshold;
+    int best_kind = -1;  // 0 add, 1 drop, 2 swap
+    fl::FacilityId best_in = fl::kNoFacility;
+    fl::FacilityId best_out = fl::kNoFacility;
+
+    for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+      const bool is_open = state.open[static_cast<std::size_t>(i)] != 0;
+      if (!is_open) {
+        const double g = state.add_gain(i);
+        if (g > best_gain) {
+          best_gain = g;
+          best_kind = 0;
+          best_in = i;
+        }
+      } else {
+        const double g = state.drop_gain(i);
+        if (g > best_gain) {
+          best_gain = g;
+          best_kind = 1;
+          best_out = i;
+        }
+      }
+    }
+    // Swaps: for each closed `in`, try each open `out` (m^2 pairs, each
+    // O(deg)); acceptable at baseline scale.
+    for (fl::FacilityId in = 0; in < inst.num_facilities(); ++in) {
+      if (state.open[static_cast<std::size_t>(in)]) continue;
+      for (fl::FacilityId out = 0; out < inst.num_facilities(); ++out) {
+        if (!state.open[static_cast<std::size_t>(out)]) continue;
+        const double g = state.swap_gain(in, out);
+        if (g > best_gain) {
+          best_gain = g;
+          best_kind = 2;
+          best_in = in;
+          best_out = out;
+        }
+      }
+    }
+
+    if (best_kind < 0) break;  // local optimum
+    ++result.moves_applied;
+    if (best_kind == 0) {
+      state.apply_open(best_in);
+    } else if (best_kind == 1) {
+      state.apply_close(best_out);
+    } else {
+      state.open[static_cast<std::size_t>(best_in)] = 1;
+      state.open[static_cast<std::size_t>(best_out)] = 0;
+      state.refresh();
+    }
+    const double new_cost = state.total_cost();
+    DFLP_CHECK_MSG(new_cost < cost + 1e-9,
+                   "local-search move must not increase cost");
+    cost = new_cost;
+  }
+
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i)
+    if (state.open[static_cast<std::size_t>(i)]) result.solution.open(i);
+  result.solution.assign_greedily(inst);
+  result.solution.prune_unused(inst);
+  return result;
+}
+
+}  // namespace dflp::seq

@@ -1,0 +1,31 @@
+// Local search for UFL (Arya et al., STOC 2001 style): add / drop / swap
+// moves until no move improves the cost by more than a polynomial-time
+// threshold. On metric instances the locality gap of this neighbourhood is
+// 3 (so the algorithm is a (3+eps)-approximation); on arbitrary instances
+// it is a strong heuristic with guaranteed feasibility. Reconstructed as a
+// centralized baseline for the E6 comparison.
+#pragma once
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::seq {
+
+struct LocalSearchResult {
+  fl::IntegralSolution solution;
+  int moves_applied = 0;
+  int iterations = 0;  ///< improvement scans (each O(m * E))
+};
+
+struct LocalSearchOptions {
+  /// A move must improve cost by more than eps * cost / m to be applied —
+  /// the standard polynomial-time guard. 0 accepts any improvement.
+  double eps = 1e-4;
+  /// Hard cap on applied moves (safety net; never hit in practice).
+  int max_moves = 100000;
+};
+
+[[nodiscard]] LocalSearchResult local_search_solve(
+    const fl::Instance& inst, const LocalSearchOptions& options = {});
+
+}  // namespace dflp::seq

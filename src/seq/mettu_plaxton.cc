@@ -1,0 +1,106 @@
+#include "seq/mettu_plaxton.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dflp::seq {
+
+double mp_radius(const fl::Instance& inst, fl::FacilityId i) {
+  // facility_edges sorted ascending by cost; sweep r across the
+  // breakpoints. With t clients inside radius r the paid mass is
+  // t*r - prefix_cost(t); solve for the r where it reaches f_i.
+  const auto edges = inst.facility_edges(i);
+  const double f = inst.opening_cost(i);
+  if (f <= 0.0) return edges.empty() ? 0.0 : edges.front().cost;
+  DFLP_CHECK_MSG(!edges.empty(),
+                 "facility " << i << " has no clients; radius undefined");
+  double prefix = 0.0;
+  for (std::size_t t = 1; t <= edges.size(); ++t) {
+    prefix += edges[t - 1].cost;
+    const double next_break = t < edges.size()
+                                  ? edges[t].cost
+                                  : std::numeric_limits<double>::infinity();
+    // With exactly t paying clients, r solves t*r - prefix = f.
+    const double r = (f + prefix) / static_cast<double>(t);
+    if (r >= edges[t - 1].cost && r <= next_break) return r;
+  }
+  // Numerically unreachable: the last bracket extends to infinity.
+  return (f + prefix) / static_cast<double>(edges.size());
+}
+
+namespace {
+
+/// Bipartite-induced facility distance: min over shared clients of
+/// (c_ij + c_i'j); +inf when they share no client.
+double induced_distance(const fl::Instance& inst, fl::FacilityId a,
+                        fl::FacilityId b) {
+  // Walk the smaller edge list and probe the other side via the client's
+  // (cost-sorted, short) list.
+  const auto ea = inst.facility_edges(a);
+  double best = std::numeric_limits<double>::infinity();
+  for (const fl::FacilityEdge& e : ea) {
+    const double cb = inst.connection_cost(b, e.client);
+    if (std::isfinite(cb)) best = std::min(best, e.cost + cb);
+  }
+  return best;
+}
+
+}  // namespace
+
+MpResult mettu_plaxton_solve(const fl::Instance& inst) {
+  const std::int32_t m = inst.num_facilities();
+
+  MpResult result{fl::IntegralSolution(inst), {}};
+  result.radius.resize(static_cast<std::size_t>(m));
+  for (fl::FacilityId i = 0; i < m; ++i)
+    result.radius[static_cast<std::size_t>(i)] = mp_radius(inst, i);
+
+  std::vector<fl::FacilityId> order(static_cast<std::size_t>(m));
+  for (fl::FacilityId i = 0; i < m; ++i)
+    order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(),
+            [&](fl::FacilityId a, fl::FacilityId b) {
+              const double ra = result.radius[static_cast<std::size_t>(a)];
+              const double rb = result.radius[static_cast<std::size_t>(b)];
+              if (ra != rb) return ra < rb;
+              return a < b;
+            });
+
+  std::vector<fl::FacilityId> opened;
+  for (fl::FacilityId i : order) {
+    const double ri = result.radius[static_cast<std::size_t>(i)];
+    bool blocked = false;
+    for (fl::FacilityId o : opened) {
+      if (induced_distance(inst, i, o) <= 2.0 * ri) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      result.solution.open(i);
+      opened.push_back(i);
+    }
+  }
+
+  // Feasibility on sparse instances: a client may be adjacent to no open
+  // facility; open its cheapest neighbour then.
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+    bool reachable = false;
+    for (const fl::ClientEdge& e : inst.client_edges(j)) {
+      if (result.solution.is_open(e.facility)) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) result.solution.open(inst.client_edges(j).front().facility);
+  }
+
+  result.solution.assign_greedily(inst);
+  result.solution.prune_unused(inst);
+  return result;
+}
+
+}  // namespace dflp::seq

@@ -1,0 +1,32 @@
+// Mettu–Plaxton (2000): combinatorial 3-approximation for metric UFL.
+// Reconstructed centralized baseline.
+//
+// Each facility gets a radius r_i solving
+//     sum_j max(0, r_i - c_ij) = f_i
+// (the smallest radius at which the surrounding clients could collectively
+// pay the opening cost). Facilities are processed in nondecreasing r_i and
+// opened when no already-open facility lies within bipartite-induced
+// distance 2*r_i. Clients connect to the nearest open facility.
+//
+// Facility-to-facility distances are induced through shared clients:
+// d(i, i') = min_j (c_ij + c_i'j), the tightest metric-consistent bound
+// available in a bipartite instance. On complete-bipartite metric instances
+// this matches the underlying metric's behaviour up to the usual factor.
+#pragma once
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::seq {
+
+struct MpResult {
+  fl::IntegralSolution solution;
+  std::vector<double> radius;  ///< per facility
+};
+
+[[nodiscard]] MpResult mettu_plaxton_solve(const fl::Instance& inst);
+
+/// The MP radius of one facility (exposed for tests).
+[[nodiscard]] double mp_radius(const fl::Instance& inst, fl::FacilityId i);
+
+}  // namespace dflp::seq

@@ -1,0 +1,22 @@
+#include "seq/trivial.h"
+
+namespace dflp::seq {
+
+fl::IntegralSolution open_all_solve(const fl::Instance& inst) {
+  fl::IntegralSolution sol(inst);
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) sol.open(i);
+  sol.assign_greedily(inst);
+  sol.prune_unused(inst);
+  return sol;
+}
+
+fl::IntegralSolution nearest_facility_solve(const fl::Instance& inst) {
+  fl::IntegralSolution sol(inst);
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j)
+    sol.open(inst.client_edges(j).front().facility);  // cost-sorted
+  sol.assign_greedily(inst);
+  sol.prune_unused(inst);
+  return sol;
+}
+
+}  // namespace dflp::seq

@@ -1,0 +1,18 @@
+// Trivial baselines: sanity anchors for the benches (any real algorithm
+// should beat these, and tests pin that down).
+#pragma once
+
+#include "fl/instance.h"
+#include "fl/solution.h"
+
+namespace dflp::seq {
+
+/// Opens every facility; each client connects to its cheapest neighbour.
+[[nodiscard]] fl::IntegralSolution open_all_solve(const fl::Instance& inst);
+
+/// Opens exactly the union of every client's single cheapest facility
+/// (the "nearest facility" heuristic).
+[[nodiscard]] fl::IntegralSolution nearest_facility_solve(
+    const fl::Instance& inst);
+
+}  // namespace dflp::seq

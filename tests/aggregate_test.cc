@@ -1,0 +1,157 @@
+// Tests for distributed bounds discovery (BFS election + convergecast).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/aggregate.h"
+#include "core/bipartite.h"
+#include "workload/generators.h"
+
+namespace dflp::core {
+namespace {
+
+TEST(ExpCode, RoundTripWithinFactorTwo) {
+  for (double v : {1e-6, 0.5, 1.0, 3.7, 1024.0, 9.9e8}) {
+    const std::int64_t code = exp_code(v);
+    const double back = exp_decode(code);
+    EXPECT_LE(back, v + 1e-12) << v;       // lower edge of the bucket
+    EXPECT_GT(back * 2.0, v - 1e-12) << v;  // within a factor 2
+  }
+  EXPECT_EQ(exp_code(0.0), 0);
+  EXPECT_DOUBLE_EQ(exp_decode(0), 0.0);
+  EXPECT_EQ(exp_code(1.0), 1076);  // floor(log2 1) = 0
+}
+
+TEST(ExpCode, MonotoneAndCompact) {
+  std::int64_t prev = 0;
+  for (double v = 1e-9; v < 1e12; v *= 3.0) {
+    const std::int64_t code = exp_code(v);
+    EXPECT_GE(code, prev);
+    EXPECT_LT(code, 1 << 13);  // fits the 13-bit packing
+    prev = code;
+  }
+}
+
+TEST(DiscoverBounds, ExactOnConnectedInstance) {
+  workload::UniformParams p;
+  p.num_facilities = 8;
+  p.num_clients = 40;
+  p.client_degree = 3;
+  const fl::Instance inst = workload::uniform_random(p, 5);
+  const DiscoveryOutcome out = discover_bounds(inst, 1, /*diameter=*/48);
+
+  // With a connected bipartite instance every node should agree.
+  const auto& profile = inst.cost_profile();
+  const int max_deg =
+      std::max(inst.max_facility_degree(), inst.max_client_degree());
+  bool connected = true;
+  for (const ComponentBounds& b : out.bounds)
+    connected &= b.root == out.bounds.front().root;
+  if (connected) {
+    for (const ComponentBounds& b : out.bounds) {
+      EXPECT_EQ(b.facility_count, inst.num_facilities());
+      EXPECT_EQ(b.max_degree, max_deg);
+      // Exponent codes: within factor 2 at each end.
+      EXPECT_LE(b.min_positive_cost, profile.min_positive + 1e-12);
+      EXPECT_GT(b.min_positive_cost * 2.0, profile.min_positive - 1e-12);
+      EXPECT_LE(b.max_cost, profile.max_value + 1e-12);
+      EXPECT_GT(b.max_cost * 2.0, profile.max_value - 1e-12);
+      // rho estimate within factor 4 of the truth.
+      EXPECT_LE(b.rho(), 4.0 * profile.rho + 1e-9);
+      EXPECT_GE(4.0 * b.rho(), profile.rho - 1e-9);
+    }
+  }
+}
+
+TEST(DiscoverBounds, PerComponentOnDisconnectedInstance) {
+  // Two disjoint star components: facilities {0, 1}, clients split.
+  fl::InstanceBuilder b;
+  const auto f0 = b.add_facility(5.0);
+  const auto f1 = b.add_facility(7.0);
+  for (int t = 0; t < 3; ++t) b.connect(f0, b.add_client(), 1.0);
+  for (int t = 0; t < 4; ++t) b.connect(f1, b.add_client(), 2.0);
+  const fl::Instance inst = b.build();
+  const DiscoveryOutcome out = discover_bounds(inst, 1, /*diameter=*/12);
+
+  // Component of f0: nodes {0, 2, 3, 4}; of f1: {1, 5, 6, 7, 8}.
+  EXPECT_EQ(out.bounds[0].root, 0);
+  EXPECT_EQ(out.bounds[0].facility_count, 1);
+  EXPECT_EQ(out.bounds[1].root, 1);
+  EXPECT_EQ(out.bounds[1].facility_count, 1);
+  for (int v : {2, 3, 4}) {
+    EXPECT_EQ(out.bounds[static_cast<std::size_t>(v)].root, 0) << v;
+    EXPECT_EQ(out.bounds[static_cast<std::size_t>(v)].facility_count, 1);
+  }
+  for (int v : {5, 6, 7, 8}) {
+    EXPECT_EQ(out.bounds[static_cast<std::size_t>(v)].root, 1) << v;
+  }
+  // Max cost differs per component: 5 vs 7.
+  EXPECT_DOUBLE_EQ(out.bounds[2].max_cost, 4.0);  // floor-pow2 of 5
+  EXPECT_DOUBLE_EQ(out.bounds[5].max_cost, 4.0);  // floor-pow2 of 7
+  EXPECT_EQ(out.bounds[0].max_degree, 3);
+  EXPECT_EQ(out.bounds[1].max_degree, 4);
+}
+
+TEST(DiscoverBounds, RoundsScaleWithDiameterBoundNotN) {
+  // Complete bipartite => diameter 2; generous vs tight bound round counts.
+  workload::EuclideanParams p;
+  p.num_facilities = 6;
+  p.num_clients = 30;
+  const fl::Instance inst = workload::euclidean(p, 2).instance;
+  const DiscoveryOutcome tight = discover_bounds(inst, 1, /*diameter=*/4);
+  EXPECT_LE(tight.metrics.rounds, 3u * 4u + 8u);
+  EXPECT_EQ(tight.bounds[0].facility_count, 6);
+}
+
+TEST(DiscoverBounds, TooShortPhaseFailsLoudly) {
+  // A path-like sparse instance with diameter > 2: phase length 1 must
+  // trip the stability invariant instead of returning garbage.
+  fl::InstanceBuilder b;
+  const auto f0 = b.add_facility(1.0);
+  const auto f1 = b.add_facility(2.0);
+  const auto f2 = b.add_facility(3.0);
+  const auto c0 = b.add_client();
+  const auto c1 = b.add_client();
+  const auto c2 = b.add_client();
+  b.connect(f0, c0, 1.0);
+  b.connect(f1, c0, 1.0);
+  b.connect(f1, c1, 1.0);
+  b.connect(f2, c1, 1.0);
+  b.connect(f2, c2, 1.0);
+  const fl::Instance inst = b.build();
+  EXPECT_THROW(discover_bounds(inst, 1, /*diameter=*/1), CheckError);
+  // And a sufficient bound succeeds with the right answer.
+  const DiscoveryOutcome ok = discover_bounds(inst, 1, /*diameter=*/8);
+  EXPECT_EQ(ok.bounds[0].facility_count, 3);
+  EXPECT_EQ(ok.bounds[5].root, 0);
+}
+
+TEST(DiscoverBounds, CongestBudgetRespected) {
+  workload::UniformParams p;
+  p.num_facilities = 10;
+  p.num_clients = 60;
+  p.client_degree = 4;
+  const fl::Instance inst = workload::uniform_random(p, 9);
+  const DiscoveryOutcome out = discover_bounds(inst, 1, /*diameter=*/70);
+  EXPECT_LE(out.metrics.max_message_bits,
+            net::congest_bit_budget(70) + 32);
+  EXPECT_GT(out.metrics.messages, 0u);
+}
+
+TEST(DiscoverBounds, DefaultDiameterBoundIsSafe) {
+  workload::UniformParams p;
+  p.num_facilities = 4;
+  p.num_clients = 12;
+  p.client_degree = 2;
+  const fl::Instance inst = workload::uniform_random(p, 3);
+  const DiscoveryOutcome out = discover_bounds(inst);  // bound = N
+  // Every node must have a positive facility count (its own component's).
+  for (const ComponentBounds& b : out.bounds) {
+    EXPECT_GE(b.facility_count, 1);
+    EXPECT_LE(b.facility_count, inst.num_facilities());
+  }
+}
+
+}  // namespace
+}  // namespace dflp::core

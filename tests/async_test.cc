@@ -1,0 +1,265 @@
+// Tests for the asynchronous executor and the alpha-synchronizer, up to the
+// headline property: the synchronous protocols run unchanged — and produce
+// bit-identical results — on an asynchronous network.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/check.h"
+#include "core/mw_greedy.h"
+#include "netsim/async.h"
+#include "workload/generators.h"
+
+namespace dflp::net {
+namespace {
+
+class AsyncScript final : public AsyncProcess {
+ public:
+  using StartFn = std::function<void(NodeContext&)>;
+  using MsgFn = std::function<void(NodeContext&, const Message&)>;
+  AsyncScript(StartFn start, MsgFn msg)
+      : start_(std::move(start)), msg_(std::move(msg)) {}
+  void on_start(NodeContext& ctx) override { start_(ctx); }
+  void on_message(NodeContext& ctx, const Message& msg) override {
+    msg_(ctx, msg);
+  }
+
+ private:
+  StartFn start_;
+  MsgFn msg_;
+};
+
+AsyncNetwork::Options aopts(int max_delay = 4) {
+  AsyncNetwork::Options o;
+  o.bit_budget = 64;
+  o.max_delay = max_delay;
+  o.seed = 3;
+  return o;
+}
+
+TEST(AsyncNetwork, DeliversAfterBoundedDelay) {
+  AsyncNetwork net(2, aopts());
+  net.add_edge(0, 1);
+  net.finalize();
+  int got = 0;
+  std::uint64_t delivery_time = 0;
+  net.set_process(0, std::make_unique<AsyncScript>(
+                         [](NodeContext& ctx) { ctx.send(1, 9, {5, 0, 0}); },
+                         [](NodeContext&, const Message&) {}));
+  net.set_process(1, std::make_unique<AsyncScript>(
+                         [](NodeContext&) {},
+                         [&](NodeContext& ctx, const Message& m) {
+                           ++got;
+                           delivery_time = ctx.round();
+                           EXPECT_EQ(m.kind, 9);
+                           EXPECT_EQ(m.field[0], 5);
+                         }));
+  const AsyncMetrics metrics = net.run(100);
+  EXPECT_EQ(got, 1);
+  EXPECT_GE(delivery_time, 1u);
+  EXPECT_LE(delivery_time, 4u);
+  EXPECT_EQ(metrics.deliveries, 1u);
+  EXPECT_EQ(metrics.payload_messages, 1u);
+}
+
+TEST(AsyncNetwork, DeterministicPerSeed) {
+  auto run_once = []() {
+    AsyncNetwork net(3, aopts(8));
+    net.add_edge(0, 1);
+    net.add_edge(1, 2);
+    net.finalize();
+    std::vector<std::uint64_t> times;
+    auto relay = [&](NodeContext& ctx, const Message& m) {
+      times.push_back(ctx.round());
+      if (m.field[0] < 6) {
+        const NodeId to = ctx.neighbors()[m.field[0] % ctx.neighbors().size()];
+        ctx.send(to, 1, {m.field[0] + 1, 0, 0});
+      }
+    };
+    net.set_process(0, std::make_unique<AsyncScript>(
+                           [](NodeContext& ctx) { ctx.send(1, 1, {1, 0, 0}); },
+                           relay));
+    net.set_process(1, std::make_unique<AsyncScript>([](NodeContext&) {},
+                                                     relay));
+    net.set_process(2, std::make_unique<AsyncScript>([](NodeContext&) {},
+                                                     relay));
+    net.run(1000);
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(AsyncNetwork, BudgetIncludesTagBits) {
+  AsyncNetwork net(2, aopts());
+  net.add_edge(0, 1);
+  net.finalize();
+  net.set_process(0, std::make_unique<AsyncScript>(
+                         [&](NodeContext& ctx) {
+                           net.set_outgoing_tag((1LL << 50));
+                           ctx.send(1, 1, {(1LL << 50), 0, 0});
+                         },
+                         [](NodeContext&, const Message&) {}));
+  net.set_process(1, std::make_unique<AsyncScript>(
+                         [](NodeContext&) {},
+                         [](NodeContext&, const Message&) {}));
+  // 8 + 52 (payload) + 52 (tag) > 64: must throw at send time.
+  EXPECT_THROW(net.run(10), CheckError);
+}
+
+TEST(AsyncNetwork, HaltedNodeDiscardsDeliveries) {
+  AsyncNetwork net(2, aopts());
+  net.add_edge(0, 1);
+  net.finalize();
+  int received = 0;
+  net.set_process(0, std::make_unique<AsyncScript>(
+                         [](NodeContext& ctx) {
+                           ctx.send(1, 1);
+                           ctx.send(1, 2);  // async: no per-round allowance
+                         },
+                         [](NodeContext&, const Message&) {}));
+  net.set_process(1, std::make_unique<AsyncScript>(
+                         [](NodeContext& ctx) { ctx.halt(); },
+                         [&](NodeContext&, const Message&) { ++received; }));
+  net.run(100);
+  EXPECT_EQ(received, 0);
+}
+
+// --------------------------------------------------------- synchronizer --
+
+/// Synchronous flooding process: node 0 starts a wave; every node forwards
+/// the (round-stamped) max value it has seen; halts after `rounds` rounds.
+class FloodProc final : public Process {
+ public:
+  explicit FloodProc(int rounds) : rounds_(rounds) {}
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    for (const Message& m : inbox) seen_ = std::max(seen_, m.field[0]);
+    if (ctx.round() >= static_cast<std::uint64_t>(rounds_)) {
+      ctx.halt();
+      return;
+    }
+    if (ctx.self() == 0 || seen_ > 0) {
+      ctx.broadcast(1, {std::max<std::int64_t>(seen_, ctx.self() + 100),
+                        0, 0});
+    }
+  }
+  [[nodiscard]] std::int64_t seen() const noexcept { return seen_; }
+
+ private:
+  int rounds_;
+  std::int64_t seen_ = 0;
+};
+
+TEST(Synchronizer, FloodMatchesSynchronousExecution) {
+  // Path 0-1-2-3-4. Run the flood synchronously and under the synchronizer
+  // with heavy delays; states must match exactly.
+  constexpr int kNodes = 5;
+  constexpr int kRounds = 6;
+  auto build_edges = [](auto& net) {
+    for (NodeId v = 0; v + 1 < kNodes; ++v) net.add_edge(v, v + 1);
+  };
+
+  std::vector<std::int64_t> sync_seen;
+  {
+    Network::Options o;
+    o.bit_budget = 64;
+    o.seed = 5;
+    Network net(kNodes, o);
+    build_edges(net);
+    net.finalize();
+    for (NodeId v = 0; v < kNodes; ++v)
+      net.set_process(v, std::make_unique<FloodProc>(kRounds));
+    net.run(100);
+    for (NodeId v = 0; v < kNodes; ++v)
+      sync_seen.push_back(
+          static_cast<const FloodProc&>(net.process(v)).seen());
+  }
+
+  std::vector<std::int64_t> async_seen;
+  {
+    AsyncNetwork::Options o;
+    o.bit_budget = 96;  // room for round tags
+    o.max_delay = 32;   // heavy reordering pressure
+    o.seed = 5;
+    AsyncNetwork net(kNodes, o);
+    build_edges(net);
+    net.finalize();
+    const AsyncMetrics metrics = run_synchronized(
+        net,
+        [&](NodeId) -> std::unique_ptr<Process> {
+          return std::make_unique<FloodProc>(kRounds);
+        },
+        1 << 20);
+    EXPECT_GT(metrics.control_messages, 0u);  // tokens really flowed
+    for (NodeId v = 0; v < kNodes; ++v) {
+      const auto& sync = static_cast<const Synchronizer&>(net.process(v));
+      async_seen.push_back(
+          static_cast<const FloodProc&>(sync.inner()).seen());
+      EXPECT_EQ(sync.rounds_executed(), kRounds + 1u);
+    }
+  }
+  EXPECT_EQ(sync_seen, async_seen);
+}
+
+TEST(Synchronizer, MwGreedyBitIdenticalUnderAsynchrony) {
+  // The headline property: the reconstructed PODC'05 protocol, unmodified,
+  // produces the identical solution on an asynchronous network.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const fl::Instance inst = workload::make_family_instance(
+        workload::Family::kUniform, 40, seed);
+    core::MwParams params;
+    params.k = 4;
+    params.seed = seed;
+    const core::MwGreedyOutcome sync = core::run_mw_greedy(inst, params);
+    const core::MwGreedyAsyncOutcome async =
+        core::run_mw_greedy_async(inst, params, /*max_delay=*/16);
+    ASSERT_TRUE(async.solution.is_feasible(inst));
+    EXPECT_DOUBLE_EQ(sync.solution.cost(inst), async.solution.cost(inst))
+        << "seed " << seed;
+    for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i)
+      EXPECT_EQ(sync.solution.is_open(i), async.solution.is_open(i))
+          << "seed " << seed << " facility " << i;
+    for (fl::ClientId j = 0; j < inst.num_clients(); ++j)
+      EXPECT_EQ(sync.solution.assignment(j), async.solution.assignment(j))
+          << "seed " << seed << " client " << j;
+  }
+}
+
+TEST(Synchronizer, OverheadIsTokensPlusTags) {
+  const fl::Instance inst = workload::make_family_instance(
+      workload::Family::kUniform, 40, 4);
+  core::MwParams params;
+  params.k = 4;
+  params.seed = 4;
+  const core::MwGreedyOutcome sync = core::run_mw_greedy(inst, params);
+  const core::MwGreedyAsyncOutcome async =
+      core::run_mw_greedy_async(inst, params);
+  // Payload messages match the synchronous count exactly (same protocol,
+  // same coins). Hmm: payloads delivered to halted nodes are counted in
+  // async but discarded in sync metrics too (sync counts sends) — both
+  // count sends, so equality holds.
+  EXPECT_EQ(async.metrics.payload_messages, sync.metrics.messages);
+  EXPECT_GT(async.metrics.control_messages, 0u);
+  EXPECT_GT(async.metrics.total_bits, sync.metrics.total_bits);
+}
+
+TEST(Synchronizer, RejectsReservedOpcodes) {
+  AsyncNetwork net(2, aopts());
+  net.add_edge(0, 1);
+  net.finalize();
+  class BadProc final : public Process {
+   public:
+    void on_round(NodeContext& ctx, std::span<const Message>) override {
+      ctx.send(ctx.neighbors()[0], Synchronizer::kToken);  // reserved!
+    }
+  };
+  EXPECT_THROW((void)run_synchronized(
+                   net,
+                   [](NodeId) -> std::unique_ptr<Process> {
+                     return std::make_unique<BadProc>();
+                   },
+                   1000),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace dflp::net

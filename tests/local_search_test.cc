@@ -1,0 +1,109 @@
+// Tests for the add/drop/swap local search baseline.
+#include <gtest/gtest.h>
+
+#include "seq/brute_force.h"
+#include "seq/local_search.h"
+#include "seq/trivial.h"
+#include "workload/generators.h"
+
+namespace dflp::seq {
+namespace {
+
+TEST(LocalSearch, FeasibleOnEveryFamily) {
+  for (const auto family :
+       {workload::Family::kUniform, workload::Family::kEuclidean,
+        workload::Family::kPowerLaw, workload::Family::kGreedyTight,
+        workload::Family::kStar}) {
+    const fl::Instance inst = workload::make_family_instance(family, 40, 2);
+    const LocalSearchResult r = local_search_solve(inst);
+    std::string why;
+    EXPECT_TRUE(r.solution.is_feasible(inst, &why))
+        << workload::family_name(family) << ": " << why;
+  }
+}
+
+TEST(LocalSearch, NeverWorseThanItsStartingPoint) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 8;
+    p.num_clients = 30;
+    p.client_degree = 4;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    const double start = nearest_facility_solve(inst).cost(inst);
+    const LocalSearchResult r = local_search_solve(inst);
+    EXPECT_LE(r.solution.cost(inst), start + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LocalSearch, Within3xOnMetricInstances) {
+  // The add/drop/swap locality gap for UFL is 3 on metric instances.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::EuclideanParams p;
+    p.num_facilities = 7;
+    p.num_clients = 16;
+    const fl::Instance inst = workload::euclidean(p, seed).instance;
+    const auto brute = brute_force_solve(inst);
+    ASSERT_TRUE(brute.has_value());
+    const LocalSearchResult r = local_search_solve(inst);
+    EXPECT_LE(r.solution.cost(inst), 3.0 * brute->optimum * (1 + 1e-6))
+        << "seed " << seed;
+    EXPECT_GE(r.solution.cost(inst), brute->optimum - 1e-9);
+  }
+}
+
+TEST(LocalSearch, FindsOptimumOnEasyInstances) {
+  // Small instances where the neighbourhood easily reaches the optimum:
+  // local search typically lands exactly on it.
+  int exact = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 5;
+    p.num_clients = 12;
+    p.client_degree = 3;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    const auto brute = brute_force_solve(inst);
+    ASSERT_TRUE(brute.has_value());
+    LocalSearchOptions opt;
+    opt.eps = 0.0;  // accept any improvement
+    const LocalSearchResult r = local_search_solve(inst, opt);
+    if (r.solution.cost(inst) <= brute->optimum * (1 + 1e-9)) ++exact;
+  }
+  EXPECT_GE(exact, 7);  // at least most of them
+}
+
+TEST(LocalSearch, SwapEscapesAddDropLocalOptimum) {
+  // Two sites far apart, one decoy in between. Starting from the decoy,
+  // dropping it orphans clients and adding either site alone is not
+  // profitable — only a swap escapes.
+  fl::InstanceBuilder b;
+  const auto decoy = b.add_facility(1.0);
+  const auto good = b.add_facility(1.5);
+  for (int t = 0; t < 4; ++t) {
+    const auto c = b.add_client();
+    b.connect(decoy, c, 5.0);
+    b.connect(good, c, 0.5);
+  }
+  const fl::Instance inst = b.build();
+  // nearest_facility start picks `good` already (cheapest edges), so force
+  // the interesting start by checking the final result is optimal anyway.
+  const LocalSearchResult r = local_search_solve(inst);
+  EXPECT_TRUE(r.solution.is_open(good));
+  EXPECT_FALSE(r.solution.is_open(decoy));
+  EXPECT_NEAR(r.solution.cost(inst), 1.5 + 4 * 0.5, 1e-9);
+}
+
+TEST(LocalSearch, MoveCapRespected) {
+  workload::UniformParams p;
+  p.num_facilities = 10;
+  p.num_clients = 40;
+  p.client_degree = 4;
+  const fl::Instance inst = workload::uniform_random(p, 3);
+  LocalSearchOptions opt;
+  opt.max_moves = 1;
+  const LocalSearchResult r = local_search_solve(inst, opt);
+  EXPECT_LE(r.moves_applied, 1);
+  EXPECT_TRUE(r.solution.is_feasible(inst));
+}
+
+}  // namespace
+}  // namespace dflp::seq

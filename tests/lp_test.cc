@@ -1,0 +1,243 @@
+// Tests for the LP substrate: simplex on known programs, the UFL LP against
+// brute force, and the dual-ascent bound's feasibility and ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "lp/dual_ascent.h"
+#include "lp/simplex.h"
+#include "lp/ufl_lp.h"
+#include "seq/brute_force.h"
+#include "workload/generators.h"
+
+namespace dflp::lp {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3a + 5b st a<=4, 2b<=12, 3a+2b<=18  => min -3a-5b, opt -36 at (2,6).
+  LinearProgram lp;
+  const int a = lp.add_variable(-3.0);
+  const int b = lp.add_variable(-5.0);
+  lp.add_constraint({{a, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{b, 2.0}}, Relation::kLe, 12.0);
+  lp.add_constraint({{a, 3.0}, {b, 2.0}}, Relation::kLe, 18.0);
+  const LpSolution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-9);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(a)], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(b)], 6.0, 1e-9);
+}
+
+TEST(Simplex, HandlesGeConstraintsViaTwoPhase) {
+  // min x + 2y st x + y >= 3, y >= 1  => opt at (2,1) value 4.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 3.0);
+  lp.add_constraint({{y, 1.0}}, Relation::kGe, 1.0);
+  const LpSolution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEquality) {
+  // min x + y st x + y = 5, x <= 2 => opt 5 with x in [0,2].
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 2.0);
+  const LpSolution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, 5.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  EXPECT_EQ(solve(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  const int x = lp.add_variable(-1.0);  // maximize x with no upper bound
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, 0.0);
+  EXPECT_EQ(solve(lp).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x st -x <= -2  (i.e. x >= 2).
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_constraint({{x, -1.0}}, Relation::kLe, -2.0);
+  const LpSolution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsAreSummed) {
+  // min x st x + x >= 4 => x = 2.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}, {x, 1.0}}, Relation::kGe, 4.0);
+  const LpSolution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, RejectsBadConstraints) {
+  LinearProgram lp;
+  (void)lp.add_variable(1.0);
+  std::vector<std::pair<int, double>> unknown_var{{5, 1.0}};
+  EXPECT_THROW(lp.add_constraint(unknown_var, Relation::kLe, 1.0),
+               dflp::CheckError);
+  std::vector<std::pair<int, double>> ok_var{{0, 1.0}};
+  EXPECT_THROW(lp.add_constraint(ok_var, Relation::kLe, std::nan("")),
+               dflp::CheckError);
+}
+
+// --------------------------------------------------------------- UFL LP --
+
+TEST(UflLp, ModelShape) {
+  workload::UniformParams p;
+  p.num_facilities = 4;
+  p.num_clients = 8;
+  p.client_degree = 3;
+  const fl::Instance inst = workload::uniform_random(p, 1);
+  const LinearProgram lp = build_ufl_lp(inst);
+  EXPECT_EQ(lp.num_variables(), 4 + 24);
+  EXPECT_EQ(lp.num_constraints(), 8 + 24);
+}
+
+TEST(UflLp, OptimumIsLowerBoundOnBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 6;
+    p.num_clients = 12;
+    p.client_degree = 3;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    const auto lp = solve_ufl_lp(inst);
+    ASSERT_TRUE(lp.has_value());
+    const auto brute = seq::brute_force_solve(inst);
+    ASSERT_TRUE(brute.has_value());
+    EXPECT_LE(lp->optimum, brute->optimum + 1e-6) << "seed " << seed;
+    // The UFL LP has integrality gap < 2 on these tiny instances; at the
+    // very least the LP should be a nontrivial fraction of OPT.
+    EXPECT_GE(lp->optimum, 0.2 * brute->optimum) << "seed " << seed;
+  }
+}
+
+TEST(UflLp, FractionalSolutionIsFeasible) {
+  workload::UniformParams p;
+  p.num_facilities = 5;
+  p.num_clients = 10;
+  p.client_degree = 3;
+  const fl::Instance inst = workload::uniform_random(p, 3);
+  const auto lp = solve_ufl_lp(inst);
+  ASSERT_TRUE(lp.has_value());
+  std::string why;
+  EXPECT_TRUE(lp->fractional.is_feasible(inst, 1e-6, &why)) << why;
+  EXPECT_NEAR(lp->fractional.value(inst), lp->optimum, 1e-6);
+}
+
+TEST(UflLp, IntegralInstanceSolvedExactly) {
+  // One facility, one client: LP optimum must equal f + c.
+  fl::InstanceBuilder b;
+  const auto f = b.add_facility(7.0);
+  const auto c = b.add_client();
+  b.connect(f, c, 3.0);
+  const fl::Instance inst = b.build();
+  const auto lp = solve_ufl_lp(inst);
+  ASSERT_TRUE(lp.has_value());
+  EXPECT_NEAR(lp->optimum, 10.0, 1e-9);
+}
+
+// ----------------------------------------------------------- dual ascent --
+
+TEST(DualAscent, FeasibleAndBelowLpOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 6;
+    p.num_clients = 14;
+    p.client_degree = 3;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    const DualAscentResult dual = dual_ascent_bound(inst);
+    EXPECT_TRUE(is_dual_feasible(inst, dual.alpha)) << "seed " << seed;
+    const auto lp = solve_ufl_lp(inst);
+    ASSERT_TRUE(lp.has_value());
+    EXPECT_LE(dual.lower_bound, lp->optimum + 1e-6) << "seed " << seed;
+    EXPECT_GT(dual.lower_bound, 0.0);
+  }
+}
+
+TEST(DualAscent, ExactOnSingleFacility) {
+  // One facility (cost 6) and three clients at distance 1: alphas grow
+  // together; facility tight when 3*(t-1) = 6 => t = 3; LB = 9 = OPT.
+  fl::InstanceBuilder b;
+  const auto f = b.add_facility(6.0);
+  for (int j = 0; j < 3; ++j) {
+    const auto c = b.add_client();
+    b.connect(f, c, 1.0);
+  }
+  const fl::Instance inst = b.build();
+  const DualAscentResult dual = dual_ascent_bound(inst);
+  EXPECT_NEAR(dual.lower_bound, 9.0, 1e-9);
+  for (double a : dual.alpha) EXPECT_NEAR(a, 3.0, 1e-9);
+  EXPECT_NEAR(dual.tight_time[0], 3.0, 1e-9);
+  for (auto w : dual.witness) EXPECT_EQ(w, 0);
+}
+
+TEST(DualAscent, ZeroCostFacilityFreezesAtConnectionCost) {
+  fl::InstanceBuilder b;
+  const auto f = b.add_facility(0.0);
+  const auto c = b.add_client();
+  b.connect(f, c, 2.5);
+  const fl::Instance inst = b.build();
+  const DualAscentResult dual = dual_ascent_bound(inst);
+  EXPECT_NEAR(dual.alpha[0], 2.5, 1e-9);
+  EXPECT_NEAR(dual.lower_bound, 2.5, 1e-9);
+}
+
+TEST(DualAscent, ScalesToLargeInstancesQuickly) {
+  workload::UniformParams p;
+  p.num_facilities = 200;
+  p.num_clients = 5000;
+  p.client_degree = 6;
+  const fl::Instance inst = workload::uniform_random(p, 5);
+  const DualAscentResult dual = dual_ascent_bound(inst);
+  EXPECT_TRUE(is_dual_feasible(inst, dual.alpha));
+  EXPECT_GT(dual.lower_bound, 0.0);
+}
+
+TEST(DualAscent, WitnessesAreAdjacent) {
+  workload::UniformParams p;
+  p.num_facilities = 8;
+  p.num_clients = 30;
+  p.client_degree = 4;
+  const fl::Instance inst = workload::uniform_random(p, 9);
+  const DualAscentResult dual = dual_ascent_bound(inst);
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+    const fl::FacilityId w = dual.witness[static_cast<std::size_t>(j)];
+    ASSERT_NE(w, fl::kNoFacility);
+    EXPECT_TRUE(std::isfinite(inst.connection_cost(w, j)));
+  }
+}
+
+TEST(CheapestConnectionBound, OrderedBelowDualAscent) {
+  workload::UniformParams p;
+  p.num_facilities = 10;
+  p.num_clients = 40;
+  p.client_degree = 4;
+  p.opening_lo = 20.0;  // opening costs matter => dual ascent strictly wins
+  p.opening_hi = 50.0;
+  const fl::Instance inst = workload::uniform_random(p, 2);
+  const double cheap = cheapest_connection_bound(inst);
+  const DualAscentResult dual = dual_ascent_bound(inst);
+  EXPECT_GE(dual.lower_bound, cheap - 1e-9);
+}
+
+}  // namespace
+}  // namespace dflp::lp

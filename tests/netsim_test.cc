@@ -1,0 +1,367 @@
+// Unit tests for the CONGEST simulator: delivery semantics, budget
+// enforcement, determinism, metrics, fault injection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "netsim/message.h"
+#include "netsim/network.h"
+
+namespace dflp::net {
+namespace {
+
+/// Process programmable with small lambdas per round.
+class Script final : public Process {
+ public:
+  using Fn = std::function<void(NodeContext&, std::span<const Message>)>;
+  explicit Script(Fn fn) : fn_(std::move(fn)) {}
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    fn_(ctx, inbox);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Installs a no-op halting process everywhere not already set.
+void fill_idle(Network& net, const std::vector<NodeId>& skip = {}) {
+  for (NodeId v = 0; v < static_cast<NodeId>(net.num_nodes()); ++v) {
+    if (std::find(skip.begin(), skip.end(), v) != skip.end()) continue;
+    net.set_process(v, std::make_unique<Script>(
+                           [](NodeContext& ctx, auto) { ctx.halt(); }));
+  }
+}
+
+Network::Options opts() {
+  Network::Options o;
+  o.bit_budget = 64;
+  o.seed = 1;
+  return o;
+}
+
+TEST(Message, BitsForValue) {
+  EXPECT_EQ(bits_for_value(0), 1);
+  EXPECT_EQ(bits_for_value(1), 2);   // magnitude + sign
+  EXPECT_EQ(bits_for_value(-1), 2);  // sign-magnitude: |-1| needs 1 bit
+  EXPECT_EQ(bits_for_value(255), 9);
+  EXPECT_EQ(bits_for_value(256), 10);
+}
+
+TEST(Message, MinMessageBits) {
+  Message m;
+  EXPECT_EQ(min_message_bits(m), 8);  // opcode only
+  m.field = {255, 0, 0};
+  EXPECT_EQ(min_message_bits(m), 17);
+}
+
+TEST(Network, TopologyValidation) {
+  Network net(3, opts());
+  EXPECT_THROW(net.add_edge(0, 0), CheckError);   // self loop
+  EXPECT_THROW(net.add_edge(0, 3), CheckError);   // out of range
+  EXPECT_THROW(net.add_edge(-1, 1), CheckError);  // negative
+  net.add_edge(0, 1);
+  net.add_edge(0, 1);  // duplicate detected at finalize
+  EXPECT_THROW(net.finalize(), CheckError);
+}
+
+TEST(Network, NeighborsAreSortedBothDirections) {
+  Network net(4, opts());
+  net.add_edge(2, 0);
+  net.add_edge(2, 3);
+  net.add_edge(1, 2);
+  net.finalize();
+  const auto nbrs = net.neighbors_of(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 1);
+  EXPECT_EQ(nbrs[2], 3);
+  EXPECT_EQ(net.neighbors_of(0).size(), 1u);
+  EXPECT_EQ(net.num_edges(), 3u);
+}
+
+TEST(Network, MessageDeliveredNextRoundIntact) {
+  Network net(2, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  std::vector<Message> got;
+  net.set_process(0, std::make_unique<Script>(
+                         [](NodeContext& ctx, auto) {
+                           if (ctx.round() == 0)
+                             ctx.send(1, /*kind=*/7, {11, -22, 33});
+                           ctx.halt();
+                         }));
+  net.set_process(1, std::make_unique<Script>(
+                         [&](NodeContext& ctx, std::span<const Message> in) {
+                           for (const auto& m : in) got.push_back(m);
+                           if (ctx.round() >= 1) ctx.halt();
+                         }));
+  net.run(10);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].src, 0);
+  EXPECT_EQ(got[0].dst, 1);
+  EXPECT_EQ(got[0].kind, 7);
+  EXPECT_EQ(got[0].field[0], 11);
+  EXPECT_EQ(got[0].field[1], -22);
+  EXPECT_EQ(got[0].field[2], 33);
+}
+
+TEST(Network, SendToNonNeighborThrows) {
+  Network net(3, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  net.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    ctx.send(2, 1);  // not a neighbour
+  }));
+  fill_idle(net, {0});
+  EXPECT_THROW(net.run(2), CheckError);
+}
+
+TEST(Network, BitBudgetEnforced) {
+  auto o = opts();
+  o.bit_budget = 16;
+  Network net(2, o);
+  net.add_edge(0, 1);
+  net.finalize();
+  net.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    ctx.send(1, 1, {1 << 20, 0, 0});  // ~21 payload bits + opcode > 16
+  }));
+  fill_idle(net, {0});
+  EXPECT_THROW(net.run(2), CheckError);
+}
+
+TEST(Network, UnderDeclaredBitsRejectedPaddingAllowed) {
+  Network net(2, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  net.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    if (ctx.round() == 0) ctx.send(1, 1, {255, 0, 0}, /*bits=*/60);  // pad ok
+    ctx.halt();
+  }));
+  fill_idle(net, {0});
+  const NetMetrics m = net.run(5);
+  EXPECT_EQ(m.max_message_bits, 60);
+
+  Network net2(2, opts());
+  net2.add_edge(0, 1);
+  net2.finalize();
+  net2.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    ctx.send(1, 1, {255, 0, 0}, /*bits=*/10);  // honest size is 17
+  }));
+  fill_idle(net2, {0});
+  EXPECT_THROW(net2.run(2), CheckError);
+}
+
+TEST(Network, CongestEdgeAllowanceIsOnePerRound) {
+  Network net(2, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  net.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    ctx.send(1, 1);
+    ctx.send(1, 2);  // second message on the same edge, same round
+  }));
+  fill_idle(net, {0});
+  EXPECT_THROW(net.run(2), CheckError);
+}
+
+TEST(Network, RaisedEdgeAllowanceWorks) {
+  auto o = opts();
+  o.max_msgs_per_edge_per_round = 2;
+  Network net(2, o);
+  net.add_edge(0, 1);
+  net.finalize();
+  net.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    if (ctx.round() == 0) {
+      ctx.send(1, 1);
+      ctx.send(1, 2);
+    }
+    ctx.halt();
+  }));
+  fill_idle(net, {0});
+  const NetMetrics m = net.run(5);
+  EXPECT_EQ(m.messages, 2u);
+}
+
+TEST(Network, QuiescenceStopsRun) {
+  Network net(2, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  fill_idle(net);
+  const NetMetrics m = net.run(100);
+  EXPECT_EQ(m.rounds, 1u);  // one round to let everyone halt
+  EXPECT_TRUE(net.all_halted());
+}
+
+TEST(Network, MaxRoundsCapsExecution) {
+  Network net(2, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  // Ping-pong forever.
+  for (NodeId v : {0, 1}) {
+    net.set_process(v, std::make_unique<Script>(
+                           [](NodeContext& ctx, auto) {
+                             ctx.send(ctx.neighbors()[0], 1);
+                           }));
+  }
+  const NetMetrics m = net.run(25);
+  EXPECT_EQ(m.rounds, 25u);
+  EXPECT_FALSE(net.all_halted());
+}
+
+TEST(Network, MetricsCountMessagesAndBits) {
+  Network net(3, opts());
+  net.add_edge(0, 1);
+  net.add_edge(0, 2);
+  net.finalize();
+  net.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    if (ctx.round() == 0) ctx.broadcast(1, {3, 0, 0});  // 8+3 = 11 bits
+    ctx.halt();
+  }));
+  fill_idle(net, {0});
+  const NetMetrics m = net.run(5);
+  EXPECT_EQ(m.messages, 2u);
+  EXPECT_EQ(m.total_bits, 22u);
+  EXPECT_EQ(m.max_message_bits, 11);
+  EXPECT_EQ(m.max_messages_in_round, 2u);
+}
+
+TEST(Network, DeliveryOrderBySource) {
+  auto run_with = [](DeliveryOrder order) {
+    auto o = opts();
+    o.delivery = order;
+    Network net(4, o);
+    net.add_edge(3, 0);
+    net.add_edge(3, 1);
+    net.add_edge(3, 2);
+    net.finalize();
+    for (NodeId v : {0, 1, 2}) {
+      net.set_process(v, std::make_unique<Script>(
+                             [](NodeContext& ctx, auto) {
+                               if (ctx.round() == 0) ctx.send(3, 1);
+                               ctx.halt();
+                             }));
+    }
+    std::vector<NodeId> sources;
+    net.set_process(3, std::make_unique<Script>(
+                           [&sources](NodeContext& ctx,
+                                      std::span<const Message> in) {
+                             for (const auto& m : in)
+                               sources.push_back(m.src);
+                             if (ctx.round() >= 1) ctx.halt();
+                           }));
+    net.run(5);
+    return sources;
+  };
+  EXPECT_EQ(run_with(DeliveryOrder::kBySource),
+            (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(run_with(DeliveryOrder::kReverseSource),
+            (std::vector<NodeId>{2, 1, 0}));
+  // Random shuffle: deterministic per seed; must be a permutation.
+  auto shuffled = run_with(DeliveryOrder::kRandomShuffle);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Network, PerNodeRngIsDeterministicAcrossRuns) {
+  auto draw = []() {
+    Network net(2, opts());
+    net.add_edge(0, 1);
+    net.finalize();
+    std::uint64_t value = 0;
+    net.set_process(0, std::make_unique<Script>(
+                           [&value](NodeContext& ctx, auto) {
+                             value = ctx.rng()();
+                             ctx.halt();
+                           }));
+    fill_idle(net, {0});
+    net.run(3);
+    return value;
+  };
+  EXPECT_EQ(draw(), draw());
+}
+
+TEST(Network, DropProbabilityOneDropsEverything) {
+  auto o = opts();
+  o.drop_probability = 1.0;
+  Network net(2, o);
+  net.add_edge(0, 1);
+  net.finalize();
+  std::size_t received = 0;
+  net.set_process(0, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    if (ctx.round() == 0) ctx.send(1, 1);
+    ctx.halt();
+  }));
+  net.set_process(1, std::make_unique<Script>(
+                         [&received](NodeContext& ctx,
+                                     std::span<const Message> in) {
+                           received += in.size();
+                           if (ctx.round() >= 2) ctx.halt();
+                         }));
+  const NetMetrics m = net.run(10);
+  EXPECT_EQ(received, 0u);
+  EXPECT_EQ(m.messages, 0u);
+  EXPECT_EQ(m.dropped, 1u);
+}
+
+TEST(Network, ResumedRunAccumulatesCumulativeMetrics) {
+  Network net(2, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  int hops = 0;
+  for (NodeId v : {0, 1}) {
+    net.set_process(v, std::make_unique<Script>(
+                           [&hops, v](NodeContext& ctx,
+                                      std::span<const Message> in) {
+                             if (v == 0 && ctx.round() == 0) ctx.send(1, 1);
+                             for (const auto& m : in) {
+                               (void)m;
+                               ++hops;
+                               if (hops < 6) ctx.send(ctx.neighbors()[0], 1);
+                             }
+                           }));
+  }
+  const NetMetrics first = net.run(3);
+  const NetMetrics second = net.run(3);
+  EXPECT_EQ(net.cumulative_metrics().rounds, first.rounds + second.rounds);
+  EXPECT_EQ(net.cumulative_metrics().messages,
+            first.messages + second.messages);
+}
+
+TEST(Network, CongestBudgetGrowsLogarithmically) {
+  const int small = congest_bit_budget(16);
+  const int large = congest_bit_budget(1 << 20);
+  EXPECT_GT(large, small);
+  EXPECT_LT(large, 4 * small);  // log growth, not linear
+  EXPECT_GE(small, 16);
+}
+
+TEST(Network, HaltedNodeInboxDiscardedAndNotStepped) {
+  Network net(2, opts());
+  net.add_edge(0, 1);
+  net.finalize();
+  int steps_after_halt = 0;
+  net.set_process(0, std::make_unique<Script>(
+                         [&](NodeContext& ctx, auto) {
+                           if (ctx.round() > 0) ++steps_after_halt;
+                           ctx.halt();
+                         }));
+  net.set_process(1, std::make_unique<Script>([](NodeContext& ctx, auto) {
+    if (ctx.round() < 3) ctx.send(0, 1);  // keep sending to the halted node
+    else ctx.halt();
+  }));
+  net.run(10);
+  EXPECT_EQ(steps_after_halt, 0);
+}
+
+TEST(Network, MetricsToStringMentionsCounts) {
+  NetMetrics m;
+  m.rounds = 3;
+  m.messages = 14;
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("rounds=3"), std::string::npos);
+  EXPECT_NE(s.find("messages=14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dflp::net

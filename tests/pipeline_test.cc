@@ -1,0 +1,224 @@
+// Tests for the two-stage pipeline: fractional stage vs the exact LP,
+// rounding losses, and the end-to-end composition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/frac_lp.h"
+#include "core/pipeline.h"
+#include "core/rand_round.h"
+#include "lp/ufl_lp.h"
+#include "seq/brute_force.h"
+#include "workload/generators.h"
+
+namespace dflp::core {
+namespace {
+
+MwParams params_k(int k, std::uint64_t seed = 1) {
+  MwParams p;
+  p.k = k;
+  p.seed = seed;
+  return p;
+}
+
+TEST(FracLp, OutputIsFeasibleAndAboveLpOptimum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 6;
+    p.num_clients = 15;
+    p.client_degree = 3;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    const FracOutcome frac = run_frac_lp(inst, params_k(4, seed));
+    std::string why;
+    ASSERT_TRUE(frac.fractional.is_feasible(inst, 1e-7, &why))
+        << "seed " << seed << ": " << why;
+    const auto lp = lp::solve_ufl_lp(inst);
+    ASSERT_TRUE(lp.has_value());
+    // Any feasible point is bounded below by the LP optimum.
+    EXPECT_GE(frac.fractional.value(inst), lp->optimum - 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(FracLp, LargerKTightensFractionalValueOnAverage) {
+  double k1 = 0.0;
+  double k36 = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const fl::Instance inst = workload::make_family_instance(
+        workload::Family::kPowerLaw, 50, seed);
+    k1 += run_frac_lp(inst, params_k(1, seed)).fractional.value(inst);
+    k36 += run_frac_lp(inst, params_k(36, seed)).fractional.value(inst);
+  }
+  EXPECT_LE(k36, k1 * 1.05);  // at minimum, no regression; usually better
+}
+
+TEST(FracLp, RoundsFollowTwoPerSubphaseLayout) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 60, 2);
+  const FracOutcome frac = run_frac_lp(inst, params_k(9, 2));
+  const std::uint64_t budget =
+      2ULL * static_cast<std::uint64_t>(frac.schedule.levels) *
+          static_cast<std::uint64_t>(frac.schedule.subphases) +
+      8;
+  EXPECT_LE(frac.metrics.rounds, budget);
+}
+
+TEST(FracLp, CongestCompliant) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kPowerLaw, 60, 3);
+  const FracOutcome frac = run_frac_lp(inst, params_k(16, 3));
+  EXPECT_LE(frac.metrics.max_message_bits, frac.schedule.bit_budget);
+}
+
+TEST(FracLp, YValuesLiveOnTheDeclaredGrid) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 40, 4);
+  const FracOutcome frac = run_frac_lp(inst, params_k(4, 4));
+  for (double y : frac.fractional.y) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    if (y > 0.0 && y < 1.0) {
+      // y = beta^(raises - y_scale): log_beta(y) must be a negative int.
+      const double steps = std::log(y) / std::log(frac.schedule.beta);
+      EXPECT_NEAR(steps, std::round(steps), 1e-6);
+    }
+  }
+}
+
+TEST(FracLp, DeterministicForFixedSeed) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 40, 5);
+  const FracOutcome a = run_frac_lp(inst, params_k(4, 99));
+  const FracOutcome b = run_frac_lp(inst, params_k(4, 99));
+  EXPECT_EQ(a.fractional.y, b.fractional.y);
+  EXPECT_EQ(a.fractional.x, b.fractional.x);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+}
+
+// -------------------------------------------------------------- rounding --
+
+TEST(RandRound, FeasibleFromExactLpSolution) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 6;
+    p.num_clients = 14;
+    p.client_degree = 3;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    const auto lp = lp::solve_ufl_lp(inst);
+    ASSERT_TRUE(lp.has_value());
+    MwParams mw = params_k(4, seed);
+    const MwSchedule sched = derive_schedule(inst, mw);
+    const RoundOutcome out =
+        run_rand_round(inst, lp->fractional, sched, mw);
+    EXPECT_TRUE(out.solution.is_feasible(inst)) << "seed " << seed;
+    EXPECT_GE(out.solution.cost(inst), lp->optimum - 1e-6);
+  }
+}
+
+TEST(RandRound, RejectsInfeasibleFractionalInput) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 30, 1);
+  fl::FractionalSolution bogus(inst);  // all zeros: uncovered
+  MwParams mw = params_k(4, 1);
+  const MwSchedule sched = derive_schedule(inst, mw);
+  EXPECT_THROW(run_rand_round(inst, bogus, sched, mw), CheckError);
+}
+
+TEST(RandRound, IntegralYRoundsToExactlyThoseFacilities) {
+  // With y in {0,1}, phase-1 opens every y=1 facility deterministically
+  // (probability 1) and no y=0 facility ever opens except via fallback.
+  workload::UniformParams p;
+  p.num_facilities = 5;
+  p.num_clients = 12;
+  p.client_degree = 3;
+  const fl::Instance inst = workload::uniform_random(p, 3);
+  fl::FractionalSolution frac(inst);
+  // Open everything fractionally at 1, serve each client by cheapest edge.
+  std::fill(frac.y.begin(), frac.y.end(), 1.0);
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j)
+    frac.x[inst.client_edge_offset(j)] = 1.0;
+  MwParams mw = params_k(2, 3);
+  const MwSchedule sched = derive_schedule(inst, mw);
+  const RoundOutcome out = run_rand_round(inst, frac, sched, mw);
+  EXPECT_TRUE(out.solution.is_feasible(inst));
+  EXPECT_EQ(out.fallback_clients, 0);
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+    // Every client must sit on its cheapest facility (all are open).
+    EXPECT_EQ(out.solution.assignment(j),
+              inst.client_edges(j).front().facility);
+  }
+}
+
+TEST(RandRound, LossStaysWithinLogEnvelope) {
+  // The analysis gives E[cost] = O(log N) * frac_value; assert a generous
+  // deterministic envelope over several seeds to catch gross regressions.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 8;
+    p.num_clients = 40;
+    p.client_degree = 4;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    MwParams mw = params_k(9, seed);
+    const FracOutcome frac = run_frac_lp(inst, mw);
+    const RoundOutcome out =
+        run_rand_round(inst, frac.fractional, frac.schedule, mw);
+    const double envelope =
+        10.0 * frac.schedule.rounding_phases * frac.fractional.value(inst) +
+        inst.open_all_cost();
+    EXPECT_LE(out.solution.cost(inst), envelope) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------------- pipeline --
+
+TEST(Pipeline, EndToEndFeasibleAndAboveOpt) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::UniformParams p;
+    p.num_facilities = 6;
+    p.num_clients = 15;
+    p.client_degree = 3;
+    const fl::Instance inst = workload::uniform_random(p, seed);
+    const PipelineOutcome out = run_pipeline(inst, params_k(4, seed));
+    EXPECT_TRUE(out.solution.is_feasible(inst)) << "seed " << seed;
+    const auto brute = seq::brute_force_solve(inst);
+    ASSERT_TRUE(brute.has_value());
+    EXPECT_GE(out.solution.cost(inst), brute->optimum - 1e-9);
+    EXPECT_GE(out.fractional_value, 0.0);
+    EXPECT_EQ(out.total_rounds(),
+              out.frac_metrics.rounds + out.round_metrics.rounds);
+  }
+}
+
+TEST(Pipeline, TotalRoundsSplitKPlusLogN) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 80, 7);
+  const PipelineOutcome out = run_pipeline(inst, params_k(4, 7));
+  // Stage 2 is Theta(log N): far below stage 1's O(k * instance-constant).
+  EXPECT_LE(out.round_metrics.rounds,
+            2ULL * static_cast<std::uint64_t>(out.schedule.rounding_phases) +
+                8);
+  EXPECT_GT(out.frac_metrics.rounds, 0u);
+}
+
+TEST(Pipeline, RoundingBoostReducesFallbacks) {
+  // Boosting opening probabilities makes stragglers rarer (at higher
+  // opening cost): fallback count must be monotone non-increasing in
+  // expectation; assert over an aggregate.
+  int fallback_low = 0;
+  int fallback_high = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const fl::Instance inst = workload::make_family_instance(
+        workload::Family::kUniform, 60, seed);
+    MwParams lo = params_k(4, seed);
+    lo.rounding_boost = 0.5;
+    MwParams hi = params_k(4, seed);
+    hi.rounding_boost = 4.0;
+    fallback_low += run_pipeline(inst, lo).round_fallback_clients;
+    fallback_high += run_pipeline(inst, hi).round_fallback_clients;
+  }
+  EXPECT_LE(fallback_high, fallback_low);
+}
+
+}  // namespace
+}  // namespace dflp::core

@@ -1,0 +1,58 @@
+// End-to-end smoke: every major subsystem touched once. The detailed
+// per-module suites live in the sibling *_test.cc files.
+#include <gtest/gtest.h>
+
+#include "core/mw_greedy.h"
+#include "core/pipeline.h"
+#include "harness/runner.h"
+#include "lp/ufl_lp.h"
+#include "seq/brute_force.h"
+#include "seq/greedy.h"
+#include "workload/generators.h"
+
+namespace dflp {
+namespace {
+
+TEST(Smoke, EndToEndTinyInstance) {
+  workload::UniformParams p;
+  p.num_facilities = 6;
+  p.num_clients = 20;
+  p.client_degree = 3;
+  const fl::Instance inst = workload::uniform_random(p, /*seed=*/42);
+
+  const auto brute = seq::brute_force_solve(inst);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_TRUE(brute->solution.is_feasible(inst));
+
+  const auto lp = lp::solve_ufl_lp(inst);
+  ASSERT_TRUE(lp.has_value());
+  EXPECT_LE(lp->optimum, brute->optimum + 1e-6);
+
+  const seq::GreedyResult greedy = seq::greedy_solve(inst);
+  EXPECT_TRUE(greedy.solution.is_feasible(inst));
+  EXPECT_GE(greedy.solution.cost(inst), brute->optimum - 1e-6);
+
+  core::MwParams params;
+  params.k = 4;
+  params.seed = 7;
+  const core::MwGreedyOutcome mw = core::run_mw_greedy(inst, params);
+  EXPECT_TRUE(mw.solution.is_feasible(inst));
+  EXPECT_GE(mw.solution.cost(inst), brute->optimum - 1e-6);
+  EXPECT_GT(mw.metrics.rounds, 0u);
+
+  const core::PipelineOutcome pipe = core::run_pipeline(inst, params);
+  EXPECT_TRUE(pipe.solution.is_feasible(inst));
+  EXPECT_GE(pipe.fractional_value, lp->optimum - 1e-6);
+
+  const auto results = harness::run_suite(
+      {harness::Algo::kMwGreedy, harness::Algo::kSeqGreedy,
+       harness::Algo::kOpenAll},
+      inst, params);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.feasible) << r.algo;
+    EXPECT_GE(r.ratio, 1.0 - 1e-9) << r.algo;
+  }
+}
+
+}  // namespace
+}  // namespace dflp

@@ -1,0 +1,189 @@
+// dflp_cli — command-line front end for the library.
+//
+//   dflp_cli generate <family> <size> <seed>          # instance -> stdout
+//   dflp_cli info     <instance.ufl|->                # describe instance
+//   dflp_cli solve    <algo> <instance.ufl|-> [k] [seed]
+//   dflp_cli sweep    <instance.ufl|->  [seed]        # k sweep table
+//   dflp_cli bounds   <instance.ufl|->                # LP / dual bounds
+//
+// `-` reads the instance from stdin. Families: uniform, euclidean,
+// powerlaw, greedy-tight, star. Algorithms: any name printed by
+// `dflp_cli solve help`.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "fl/serialize.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "lp/dual_ascent.h"
+#include "lp/ufl_lp.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace dflp;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  dflp_cli generate <family> <size> <seed>\n"
+         "  dflp_cli info   <instance.ufl|->\n"
+         "  dflp_cli solve  <algo> <instance.ufl|-> [k=4] [seed=1]\n"
+         "  dflp_cli sweep  <instance.ufl|-> [seed=1]\n"
+         "  dflp_cli bounds <instance.ufl|->\n"
+         "families: uniform euclidean powerlaw greedy-tight star\n"
+         "algorithms: mw-greedy mw-pipeline ideal-greedy seq-greedy\n"
+         "            jain-vazirani mettu-plaxton jms-greedy local-search\n"
+         "            open-all nearest-facility\n";
+  return 2;
+}
+
+fl::Instance load_instance(const std::string& path) {
+  if (path == "-") return fl::read_instance(std::cin);
+  std::ifstream in(path);
+  DFLP_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return fl::read_instance(in);
+}
+
+std::vector<std::pair<std::string, harness::Algo>> algo_registry() {
+  using harness::Algo;
+  std::vector<std::pair<std::string, Algo>> reg;
+  for (const Algo a :
+       {Algo::kMwGreedy, Algo::kPipeline, Algo::kIdealGreedy,
+        Algo::kSeqGreedy, Algo::kJainVazirani, Algo::kMettuPlaxton,
+        Algo::kJms, Algo::kLocalSearch, Algo::kOpenAll,
+        Algo::kNearestFacility}) {
+    reg.emplace_back(harness::algo_name(a), a);
+  }
+  return reg;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string family_name = argv[2];
+  const auto size = static_cast<std::int32_t>(std::atoi(argv[3]));
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  if (size < 4) {
+    std::cerr << "size must be >= 4\n";
+    return 2;
+  }
+  workload::Family family = workload::Family::kUniform;
+  bool found = false;
+  for (const auto f : {workload::Family::kUniform,
+                       workload::Family::kEuclidean,
+                       workload::Family::kPowerLaw,
+                       workload::Family::kGreedyTight,
+                       workload::Family::kStar}) {
+    if (workload::family_name(f) == family_name) {
+      family = f;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown family '" << family_name << "'\n";
+    return 2;
+  }
+  fl::write_instance(std::cout,
+                     workload::make_family_instance(family, size, seed));
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const fl::Instance inst = load_instance(argv[2]);
+  std::cout << inst.describe() << "\n"
+            << "total opening cost    = "
+            << inst.cost_profile().total_opening << "\n"
+            << "total connection cost = "
+            << inst.cost_profile().total_connection << "\n"
+            << "open-all cost         = " << inst.open_all_cost() << "\n";
+  return 0;
+}
+
+int cmd_bounds(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const fl::Instance inst = load_instance(argv[2]);
+  const lp::DualAscentResult dual = lp::dual_ascent_bound(inst);
+  std::cout << "dual-ascent lower bound = " << dual.lower_bound << "\n";
+  if (inst.num_edges() <= 400) {
+    if (const auto lp_opt = lp::solve_ufl_lp(inst)) {
+      std::cout << "exact LP optimum        = " << lp_opt->optimum << "\n";
+    }
+  } else {
+    std::cout << "exact LP optimum        = (instance too large for the "
+                 "dense simplex; dual ascent is the certified bound)\n";
+  }
+  std::cout << "cheapest-edges bound    = "
+            << lp::cheapest_connection_bound(inst) << "\n";
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string algo_name = argv[2];
+  const fl::Instance inst = load_instance(argv[3]);
+  core::MwParams params;
+  params.k = argc > 4 ? std::atoi(argv[4]) : 4;
+  params.seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5]))
+                         : 1;
+  for (const auto& [name, algo] : algo_registry()) {
+    if (name == algo_name) {
+      const harness::LowerBound lb = harness::compute_lower_bound(inst);
+      const harness::RunResult r =
+          harness::run_algorithm(algo, inst, params, lb);
+      harness::print_section(name + " on " + inst.describe(),
+                             "lower bound (" + lb.kind + ") = " +
+                                 format_double(lb.value, 2),
+                             harness::results_table({r}));
+      return 0;
+    }
+  }
+  std::cerr << "unknown algorithm '" << algo_name << "'\n";
+  return 2;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const fl::Instance inst = load_instance(argv[2]);
+  const auto seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+  const harness::LowerBound lb = harness::compute_lower_bound(inst);
+  Table table({"k", "cost", "ratio", "rounds", "messages"});
+  for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+    core::MwParams params;
+    params.k = k;
+    params.seed = seed;
+    const harness::RunResult r = harness::run_algorithm(
+        harness::Algo::kMwGreedy, inst, params, lb);
+    table.row().cell(k).cell(r.cost, 2).cell(r.ratio, 3).cell(r.rounds).cell(
+        r.messages);
+  }
+  harness::print_section("mw-greedy k sweep on " + inst.describe(),
+                         "lower bound (" + lb.kind + ") = " +
+                             format_double(lb.value, 2),
+                         table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "solve") return cmd_solve(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "bounds") return cmd_bounds(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
