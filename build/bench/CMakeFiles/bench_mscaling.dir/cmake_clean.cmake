@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mscaling.dir/bench_mscaling.cc.o"
+  "CMakeFiles/bench_mscaling.dir/bench_mscaling.cc.o.d"
+  "bench_mscaling"
+  "bench_mscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

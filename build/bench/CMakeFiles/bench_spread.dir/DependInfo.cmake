@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_spread.cc" "bench/CMakeFiles/bench_spread.dir/bench_spread.cc.o" "gcc" "bench/CMakeFiles/bench_spread.dir/bench_spread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dflp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spread.dir/bench_spread.cc.o"
+  "CMakeFiles/bench_spread.dir/bench_spread.cc.o.d"
+  "bench_spread"
+  "bench_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_placement.dir/cdn_placement.cpp.o"
+  "CMakeFiles/cdn_placement.dir/cdn_placement.cpp.o.d"
+  "cdn_placement"
+  "cdn_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_coverage.dir/sensor_coverage.cpp.o"
+  "CMakeFiles/sensor_coverage.dir/sensor_coverage.cpp.o.d"
+  "sensor_coverage"
+  "sensor_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_common.dir/common/mathx.cc.o"
+  "CMakeFiles/dflp_common.dir/common/mathx.cc.o.d"
+  "CMakeFiles/dflp_common.dir/common/rng.cc.o"
+  "CMakeFiles/dflp_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dflp_common.dir/common/stats.cc.o"
+  "CMakeFiles/dflp_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/dflp_common.dir/common/table.cc.o"
+  "CMakeFiles/dflp_common.dir/common/table.cc.o.d"
+  "libdflp_common.a"
+  "libdflp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

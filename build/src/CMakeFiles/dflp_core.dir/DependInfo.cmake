@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/dflp_core.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/frac_lp.cc" "src/CMakeFiles/dflp_core.dir/core/frac_lp.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/frac_lp.cc.o.d"
+  "/root/repo/src/core/ideal_greedy.cc" "src/CMakeFiles/dflp_core.dir/core/ideal_greedy.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/ideal_greedy.cc.o.d"
+  "/root/repo/src/core/mw_greedy.cc" "src/CMakeFiles/dflp_core.dir/core/mw_greedy.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/mw_greedy.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/CMakeFiles/dflp_core.dir/core/params.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/params.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/dflp_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/quantize.cc" "src/CMakeFiles/dflp_core.dir/core/quantize.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/quantize.cc.o.d"
+  "/root/repo/src/core/rand_round.cc" "src/CMakeFiles/dflp_core.dir/core/rand_round.cc.o" "gcc" "src/CMakeFiles/dflp_core.dir/core/rand_round.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dflp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_core.dir/core/aggregate.cc.o"
+  "CMakeFiles/dflp_core.dir/core/aggregate.cc.o.d"
+  "CMakeFiles/dflp_core.dir/core/frac_lp.cc.o"
+  "CMakeFiles/dflp_core.dir/core/frac_lp.cc.o.d"
+  "CMakeFiles/dflp_core.dir/core/ideal_greedy.cc.o"
+  "CMakeFiles/dflp_core.dir/core/ideal_greedy.cc.o.d"
+  "CMakeFiles/dflp_core.dir/core/mw_greedy.cc.o"
+  "CMakeFiles/dflp_core.dir/core/mw_greedy.cc.o.d"
+  "CMakeFiles/dflp_core.dir/core/params.cc.o"
+  "CMakeFiles/dflp_core.dir/core/params.cc.o.d"
+  "CMakeFiles/dflp_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/dflp_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/dflp_core.dir/core/quantize.cc.o"
+  "CMakeFiles/dflp_core.dir/core/quantize.cc.o.d"
+  "CMakeFiles/dflp_core.dir/core/rand_round.cc.o"
+  "CMakeFiles/dflp_core.dir/core/rand_round.cc.o.d"
+  "libdflp_core.a"
+  "libdflp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/capacitated.cc" "src/CMakeFiles/dflp_fl.dir/fl/capacitated.cc.o" "gcc" "src/CMakeFiles/dflp_fl.dir/fl/capacitated.cc.o.d"
+  "/root/repo/src/fl/instance.cc" "src/CMakeFiles/dflp_fl.dir/fl/instance.cc.o" "gcc" "src/CMakeFiles/dflp_fl.dir/fl/instance.cc.o.d"
+  "/root/repo/src/fl/serialize.cc" "src/CMakeFiles/dflp_fl.dir/fl/serialize.cc.o" "gcc" "src/CMakeFiles/dflp_fl.dir/fl/serialize.cc.o.d"
+  "/root/repo/src/fl/solution.cc" "src/CMakeFiles/dflp_fl.dir/fl/solution.cc.o" "gcc" "src/CMakeFiles/dflp_fl.dir/fl/solution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dflp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

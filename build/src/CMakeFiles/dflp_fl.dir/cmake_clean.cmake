@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_fl.dir/fl/capacitated.cc.o"
+  "CMakeFiles/dflp_fl.dir/fl/capacitated.cc.o.d"
+  "CMakeFiles/dflp_fl.dir/fl/instance.cc.o"
+  "CMakeFiles/dflp_fl.dir/fl/instance.cc.o.d"
+  "CMakeFiles/dflp_fl.dir/fl/serialize.cc.o"
+  "CMakeFiles/dflp_fl.dir/fl/serialize.cc.o.d"
+  "CMakeFiles/dflp_fl.dir/fl/solution.cc.o"
+  "CMakeFiles/dflp_fl.dir/fl/solution.cc.o.d"
+  "libdflp_fl.a"
+  "libdflp_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_harness.dir/harness/report.cc.o"
+  "CMakeFiles/dflp_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/dflp_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/dflp_harness.dir/harness/runner.cc.o.d"
+  "libdflp_harness.a"
+  "libdflp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

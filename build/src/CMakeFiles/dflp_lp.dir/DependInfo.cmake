@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/dual_ascent.cc" "src/CMakeFiles/dflp_lp.dir/lp/dual_ascent.cc.o" "gcc" "src/CMakeFiles/dflp_lp.dir/lp/dual_ascent.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/dflp_lp.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/dflp_lp.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/lp/ufl_lp.cc" "src/CMakeFiles/dflp_lp.dir/lp/ufl_lp.cc.o" "gcc" "src/CMakeFiles/dflp_lp.dir/lp/ufl_lp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dflp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

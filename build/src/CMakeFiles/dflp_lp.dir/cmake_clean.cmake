@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_lp.dir/lp/dual_ascent.cc.o"
+  "CMakeFiles/dflp_lp.dir/lp/dual_ascent.cc.o.d"
+  "CMakeFiles/dflp_lp.dir/lp/simplex.cc.o"
+  "CMakeFiles/dflp_lp.dir/lp/simplex.cc.o.d"
+  "CMakeFiles/dflp_lp.dir/lp/ufl_lp.cc.o"
+  "CMakeFiles/dflp_lp.dir/lp/ufl_lp.cc.o.d"
+  "libdflp_lp.a"
+  "libdflp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/async.cc" "src/CMakeFiles/dflp_netsim.dir/netsim/async.cc.o" "gcc" "src/CMakeFiles/dflp_netsim.dir/netsim/async.cc.o.d"
+  "/root/repo/src/netsim/message.cc" "src/CMakeFiles/dflp_netsim.dir/netsim/message.cc.o" "gcc" "src/CMakeFiles/dflp_netsim.dir/netsim/message.cc.o.d"
+  "/root/repo/src/netsim/metrics.cc" "src/CMakeFiles/dflp_netsim.dir/netsim/metrics.cc.o" "gcc" "src/CMakeFiles/dflp_netsim.dir/netsim/metrics.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/CMakeFiles/dflp_netsim.dir/netsim/network.cc.o" "gcc" "src/CMakeFiles/dflp_netsim.dir/netsim/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dflp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

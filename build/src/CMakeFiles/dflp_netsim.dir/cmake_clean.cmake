@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_netsim.dir/netsim/async.cc.o"
+  "CMakeFiles/dflp_netsim.dir/netsim/async.cc.o.d"
+  "CMakeFiles/dflp_netsim.dir/netsim/message.cc.o"
+  "CMakeFiles/dflp_netsim.dir/netsim/message.cc.o.d"
+  "CMakeFiles/dflp_netsim.dir/netsim/metrics.cc.o"
+  "CMakeFiles/dflp_netsim.dir/netsim/metrics.cc.o.d"
+  "CMakeFiles/dflp_netsim.dir/netsim/network.cc.o"
+  "CMakeFiles/dflp_netsim.dir/netsim/network.cc.o.d"
+  "libdflp_netsim.a"
+  "libdflp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdflp_netsim.a"
+)

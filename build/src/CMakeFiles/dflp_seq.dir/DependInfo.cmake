@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/brute_force.cc" "src/CMakeFiles/dflp_seq.dir/seq/brute_force.cc.o" "gcc" "src/CMakeFiles/dflp_seq.dir/seq/brute_force.cc.o.d"
+  "/root/repo/src/seq/greedy.cc" "src/CMakeFiles/dflp_seq.dir/seq/greedy.cc.o" "gcc" "src/CMakeFiles/dflp_seq.dir/seq/greedy.cc.o.d"
+  "/root/repo/src/seq/jain_vazirani.cc" "src/CMakeFiles/dflp_seq.dir/seq/jain_vazirani.cc.o" "gcc" "src/CMakeFiles/dflp_seq.dir/seq/jain_vazirani.cc.o.d"
+  "/root/repo/src/seq/jms.cc" "src/CMakeFiles/dflp_seq.dir/seq/jms.cc.o" "gcc" "src/CMakeFiles/dflp_seq.dir/seq/jms.cc.o.d"
+  "/root/repo/src/seq/local_search.cc" "src/CMakeFiles/dflp_seq.dir/seq/local_search.cc.o" "gcc" "src/CMakeFiles/dflp_seq.dir/seq/local_search.cc.o.d"
+  "/root/repo/src/seq/mettu_plaxton.cc" "src/CMakeFiles/dflp_seq.dir/seq/mettu_plaxton.cc.o" "gcc" "src/CMakeFiles/dflp_seq.dir/seq/mettu_plaxton.cc.o.d"
+  "/root/repo/src/seq/trivial.cc" "src/CMakeFiles/dflp_seq.dir/seq/trivial.cc.o" "gcc" "src/CMakeFiles/dflp_seq.dir/seq/trivial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dflp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

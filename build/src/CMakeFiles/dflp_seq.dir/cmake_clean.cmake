@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_seq.dir/seq/brute_force.cc.o"
+  "CMakeFiles/dflp_seq.dir/seq/brute_force.cc.o.d"
+  "CMakeFiles/dflp_seq.dir/seq/greedy.cc.o"
+  "CMakeFiles/dflp_seq.dir/seq/greedy.cc.o.d"
+  "CMakeFiles/dflp_seq.dir/seq/jain_vazirani.cc.o"
+  "CMakeFiles/dflp_seq.dir/seq/jain_vazirani.cc.o.d"
+  "CMakeFiles/dflp_seq.dir/seq/jms.cc.o"
+  "CMakeFiles/dflp_seq.dir/seq/jms.cc.o.d"
+  "CMakeFiles/dflp_seq.dir/seq/local_search.cc.o"
+  "CMakeFiles/dflp_seq.dir/seq/local_search.cc.o.d"
+  "CMakeFiles/dflp_seq.dir/seq/mettu_plaxton.cc.o"
+  "CMakeFiles/dflp_seq.dir/seq/mettu_plaxton.cc.o.d"
+  "CMakeFiles/dflp_seq.dir/seq/trivial.cc.o"
+  "CMakeFiles/dflp_seq.dir/seq/trivial.cc.o.d"
+  "libdflp_seq.a"
+  "libdflp_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

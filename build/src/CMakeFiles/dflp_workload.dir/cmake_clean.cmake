@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/dflp_workload.dir/workload/generators.cc.o.d"
+  "libdflp_workload.a"
+  "libdflp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/dflp_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/async_test.cc" "tests/CMakeFiles/dflp_tests.dir/async_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/async_test.cc.o.d"
+  "/root/repo/tests/capacitated_test.cc" "tests/CMakeFiles/dflp_tests.dir/capacitated_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/capacitated_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dflp_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/fl_test.cc" "tests/CMakeFiles/dflp_tests.dir/fl_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/fl_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/dflp_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/local_search_test.cc" "tests/CMakeFiles/dflp_tests.dir/local_search_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/local_search_test.cc.o.d"
+  "/root/repo/tests/lp_test.cc" "tests/CMakeFiles/dflp_tests.dir/lp_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/lp_test.cc.o.d"
+  "/root/repo/tests/mw_greedy_test.cc" "tests/CMakeFiles/dflp_tests.dir/mw_greedy_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/mw_greedy_test.cc.o.d"
+  "/root/repo/tests/netsim_test.cc" "tests/CMakeFiles/dflp_tests.dir/netsim_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/netsim_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/dflp_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/dflp_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/quantize_test.cc" "tests/CMakeFiles/dflp_tests.dir/quantize_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/quantize_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/dflp_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/seq_test.cc" "tests/CMakeFiles/dflp_tests.dir/seq_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/seq_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/dflp_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/dflp_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/dflp_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dflp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dflp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

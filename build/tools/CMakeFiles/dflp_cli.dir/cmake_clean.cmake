@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflp_cli.dir/dflp_cli.cc.o"
+  "CMakeFiles/dflp_cli.dir/dflp_cli.cc.o.d"
+  "dflp_cli"
+  "dflp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
