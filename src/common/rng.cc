@@ -17,6 +17,12 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
   return splitmix64(s);
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t a,
+                                 std::uint64_t b) noexcept {
+  std::uint64_t s = mix64(seed ^ (a + 0x9E3779B97F4A7C15ULL));
+  return mix64(s ^ (b + 0xBF58476D1CE4E5B9ULL));
+}
+
 namespace {
 
 constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -24,6 +24,14 @@ namespace dflp {
 /// Stateless 64-bit mix of a single value (one SplitMix64 round).
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
 
+/// Deterministic seed for a derived stream identified by (seed, a, b) —
+/// e.g. the round engine's per-(node, round) shuffle and fault streams.
+/// Pure function of its inputs: the draw sequence of such a stream is
+/// independent of execution order, other nodes, and thread count.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                               std::uint64_t a,
+                                               std::uint64_t b) noexcept;
+
 /// xoshiro256++ pseudo-random generator. Satisfies the essentials of
 /// UniformRandomBitGenerator so it can be used with <random> distributions,
 /// though DFLP's own helpers below are preferred (they are portable across

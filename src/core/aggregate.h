@@ -29,6 +29,7 @@
 
 #include "fl/instance.h"
 #include "netsim/metrics.h"
+#include "netsim/network.h"
 
 namespace dflp::core {
 
@@ -62,8 +63,12 @@ struct DiscoveryOutcome {
 /// Runs discovery on `inst`'s bipartite network. `diameter_bound` caps the
 /// flooding phases; pass 0 to use the safe bound N (any component's
 /// diameter is < N). Rounds used ~ 3 * actual eccentricity + O(1).
-[[nodiscard]] DiscoveryOutcome discover_bounds(const fl::Instance& inst,
-                                               std::uint64_t seed = 1,
-                                               int diameter_bound = 0);
+/// `num_threads` is the simulator's step-phase thread count and `delivery`
+/// the inbox ordering; both are execution knobs only — results are
+/// bit-identical for every combination.
+[[nodiscard]] DiscoveryOutcome discover_bounds(
+    const fl::Instance& inst, std::uint64_t seed = 1, int diameter_bound = 0,
+    int num_threads = 1,
+    net::DeliveryOrder delivery = net::DeliveryOrder::kBySource);
 
 }  // namespace dflp::core

@@ -292,6 +292,8 @@ MwGreedyOutcome run_mw_greedy(const fl::Instance& inst,
   options.bit_budget = shared.sched.bit_budget;
   options.seed = params.seed;
   options.drop_probability = params.drop_probability;
+  options.num_threads = params.num_threads;
+  options.delivery = params.delivery;
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {

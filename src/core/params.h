@@ -21,6 +21,7 @@
 
 #include "core/quantize.h"
 #include "fl/instance.h"
+#include "netsim/network.h"
 
 namespace dflp::core {
 
@@ -51,6 +52,13 @@ struct MwParams {
   /// verify the protocols fail *loudly* (CheckError) rather than silently
   /// emitting infeasible output.
   double drop_probability = 0.0;
+  /// Simulator threads for the step phase (>= 1). Purely an execution
+  /// knob: results are bit-identical for every value.
+  int num_threads = 1;
+  /// Inbox ordering the simulator applies before each delivery. The
+  /// reconstructed protocols are order-independent; tests sweep this to
+  /// prove it.
+  net::DeliveryOrder delivery = net::DeliveryOrder::kBySource;
 };
 
 /// The deterministic schedule every node runs against.

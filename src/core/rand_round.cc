@@ -173,6 +173,8 @@ RoundOutcome run_rand_round(const fl::Instance& inst,
   options.bit_budget = schedule.bit_budget;
   options.seed = params.seed ^ 0x5EEDB00572ULL;  // decorrelate from stage 1
   options.drop_probability = params.drop_probability;
+  options.num_threads = params.num_threads;
+  options.delivery = params.delivery;
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {

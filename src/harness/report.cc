@@ -6,7 +6,7 @@ namespace dflp::harness {
 
 Table results_table(const std::vector<RunResult>& results) {
   Table table({"algorithm", "cost", "ratio-vs-LB", "rounds", "messages",
-               "kbits", "max-msg-bits", "wall-ms"});
+               "kbits", "max-msg-bits", "threads", "wall-ms"});
   for (const RunResult& r : results) {
     table.row()
         .cell(r.algo)
@@ -16,6 +16,7 @@ Table results_table(const std::vector<RunResult>& results) {
         .cell(r.messages)
         .cell(static_cast<double>(r.total_bits) / 1000.0, 1)
         .cell(r.max_message_bits)
+        .cell(r.threads)
         .cell(r.wall_ms, 2);
   }
   return table;

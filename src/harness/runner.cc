@@ -68,6 +68,8 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
                         const core::MwParams& params, const LowerBound& lb) {
   RunResult result;
   result.algo = algo_name(algo);
+  if (algo == Algo::kMwGreedy || algo == Algo::kPipeline)
+    result.threads = params.num_threads;
   const auto start = std::chrono::steady_clock::now();
 
   fl::IntegralSolution sol;

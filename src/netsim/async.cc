@@ -176,53 +176,6 @@ AsyncMetrics AsyncNetwork::run(std::uint64_t max_events) {
 
 // ------------------------------------------------------------ Synchronizer
 
-namespace {
-
-/// The adapter intercepts the inner protocol's sends (to tag and track
-/// them) and its halt (to emit FIN first).
-class InnerSink final : public MessageSink {
- public:
-  InnerSink(AsyncNetwork& net, NodeId self, std::uint64_t tag,
-            std::span<const NodeId> neighbors)
-      : net_(&net), self_(self), tag_(static_cast<std::int64_t>(tag)),
-        neighbors_(neighbors), messaged_(neighbors.size(), 0) {}
-
-  void sink_send(NodeId from, NodeId to, std::uint8_t kind,
-                 std::array<std::int64_t, 3> fields, int bits) override {
-    DFLP_CHECK_MSG(kind < Synchronizer::kToken,
-                   "wrapped protocols must not use reserved opcodes >= 0xFE");
-    DFLP_CHECK(from == self_);
-    const auto it =
-        std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
-    DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
-                   "send to non-neighbour " << to);
-    const auto idx = static_cast<std::size_t>(it - neighbors_.begin());
-    DFLP_CHECK_MSG(!messaged_[idx],
-                   "CONGEST edge allowance exceeded under synchronizer");
-    messaged_[idx] = 1;
-    net_->set_outgoing_tag(tag_);
-    net_->sink_send(from, to, kind, fields, bits);
-    net_->set_outgoing_tag(0);
-  }
-
-  void sink_halt(NodeId) override { halted_ = true; }
-
-  [[nodiscard]] bool halted() const noexcept { return halted_; }
-  [[nodiscard]] bool messaged(std::size_t idx) const {
-    return messaged_[idx] != 0;
-  }
-
- private:
-  AsyncNetwork* net_;
-  NodeId self_;
-  std::int64_t tag_;
-  std::span<const NodeId> neighbors_;
-  std::vector<std::uint8_t> messaged_;
-  bool halted_ = false;
-};
-
-}  // namespace
-
 Synchronizer::Synchronizer(AsyncNetwork& net, NodeId self,
                            std::unique_ptr<Process> inner)
     : net_(&net), self_(self), inner_(std::move(inner)) {
@@ -276,22 +229,36 @@ void Synchronizer::execute_round(NodeContext& ctx) {
   std::sort(inbox.begin(), inbox.end(),
             [](const Message& a, const Message& b) { return a.src < b.src; });
 
-  InnerSink sink(*net_, self_, round_ + 1, neighbors);
-  NodeContext inner_ctx(sink, self_, round_, neighbors, ctx.rng());
+  // Step: the inner protocol writes into the same RoundBuffer type the
+  // synchronous engine uses — identical legality checks, including the
+  // reserved opcodes the synchronizer claims for itself.
+  RoundBuffer::Limits limits;
+  limits.bit_budget = net_->options().bit_budget;
+  limits.max_msgs_per_edge_per_round = 1;  // CONGEST under the synchronizer
+  limits.max_kind = kToken - 1;
+  buffer_.begin(self_, round_, neighbors, limits);
+  NodeContext inner_ctx(buffer_, self_, round_, neighbors, ctx.rng());
   inner_->on_round(inner_ctx, std::span<const Message>(inbox));
 
-  if (sink.halted()) {
+  // Commit: forward the staged payloads round-tagged, in send-call order
+  // (the staged bits already satisfy the honest minimum; the network adds
+  // and bills the tag overhead on top).
+  net_->set_outgoing_tag(static_cast<std::int64_t>(round_ + 1));
+  for (const Message& m : buffer_.staged())
+    net_->sink_send(self_, m.dst, m.kind, m.field, m.bits);
+  net_->set_outgoing_tag(0);
+
+  if (buffer_.halt_requested()) {
     inner_halted_ = true;
     if (!fin_sent_) {
       fin_sent_ = true;
-      net_->set_outgoing_tag(0);
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
         // Last item this neighbour will ever get from us: the final
         // round's payload (tag round_+1) if we messaged it, else our
         // previous round's item (tag round_).
         const std::int64_t last_tag =
-            sink.messaged(i) ? static_cast<std::int64_t>(round_ + 1)
-                             : static_cast<std::int64_t>(round_);
+            buffer_.sent_to(i) ? static_cast<std::int64_t>(round_ + 1)
+                               : static_cast<std::int64_t>(round_);
         net_->sink_send(self_, neighbors[i], kFin, {last_tag, 0, 0}, -1);
       }
     }
@@ -300,11 +267,12 @@ void Synchronizer::execute_round(NodeContext& ctx) {
     // Round tokens along every silent edge so neighbours can advance.
     net_->set_outgoing_tag(static_cast<std::int64_t>(round_ + 1));
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
-      if (!sink.messaged(i))
+      if (!buffer_.sent_to(i))
         net_->sink_send(self_, neighbors[i], kToken, {0, 0, 0}, -1);
     }
     net_->set_outgoing_tag(0);
   }
+  buffer_.clear();
   ++round_;
 }
 

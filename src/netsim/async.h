@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "netsim/message.h"
 #include "netsim/network.h"
+#include "netsim/round_buffer.h"
 
 namespace dflp::net {
 
@@ -81,6 +82,7 @@ class AsyncNetwork final : public MessageSink {
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return processes_.size();
   }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
   [[nodiscard]] std::span<const NodeId> neighbors_of(NodeId id) const;
   [[nodiscard]] AsyncProcess& process(NodeId id);
   [[nodiscard]] const AsyncProcess& process(NodeId id) const;
@@ -162,6 +164,12 @@ class Synchronizer final : public AsyncProcess {
   std::uint64_t round_ = 0;  ///< next synchronous round to execute
   bool inner_halted_ = false;
   bool fin_sent_ = false;
+
+  /// The inner protocol's sends stage here (same legality checks and
+  /// send-order semantics as the synchronous engine's step phase); the
+  /// commit in execute_round forwards them round-tagged onto the async
+  /// network and emits tokens/FIN on the silent edges.
+  RoundBuffer buffer_;
 
   // Per-neighbour bookkeeping, indexed by position in neighbors_of(self).
   // fin_after_[i] is meaningful when fin_from_[i] is set: the neighbour's

@@ -1,0 +1,71 @@
+// Deterministic fork-join executor for the round engine's step phase.
+//
+// Work is partitioned into contiguous index shards — one per worker — so a
+// run over [0, n) touches every index exactly once and each worker's slice
+// is a deterministic function of (n, num_threads). The pool is persistent:
+// workers are spawned once and parked between rounds, so the per-round
+// dispatch cost is two condition-variable handshakes, not thread churn.
+//
+// Determinism contract: the executor guarantees nothing about the relative
+// timing of shards. Callers must make shard bodies independent (the step
+// phase writes only per-node state) and do any order-sensitive merging
+// afterwards (the commit phase runs serially in canonical order). If a
+// shard throws, the remaining shards still finish and the exception of the
+// lowest-indexed failing shard is rethrown — since each shard runs its
+// indices in ascending order, this is exactly the error a serial in-order
+// execution would have raised first.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dflp::net {
+
+class ParallelExecutor {
+ public:
+  /// Spawns `num_threads - 1` workers; the calling thread always executes
+  /// the lowest shard itself. With num_threads <= 1 no threads are created
+  /// and for_shards runs inline (exactly the historical serial engine).
+  explicit ParallelExecutor(int num_threads);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Runs `fn(begin, end)` over contiguous shards covering [0, n) and
+  /// blocks until every shard finished. Rethrows the exception of the
+  /// lowest-indexed failing shard, if any.
+  void for_shards(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+  [[nodiscard]] int num_threads() const noexcept {
+    return static_cast<int>(threads_.size()) + 1;
+  }
+
+ private:
+  struct Shard {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t idx);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::vector<Shard> shards_;                 ///< per worker, current job
+  std::vector<std::exception_ptr> errors_;    ///< per worker, current job
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dflp::net

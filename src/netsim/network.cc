@@ -4,8 +4,20 @@
 
 #include "common/check.h"
 #include "common/mathx.h"
+#include "netsim/executor.h"
+#include "netsim/round_buffer.h"
 
 namespace dflp::net {
+
+namespace {
+
+// Salts separating the engine's derived stream families (see the header's
+// determinism contract). Arbitrary odd constants; changing them changes
+// every seeded execution, so they are frozen.
+constexpr std::uint64_t kShuffleSalt = 0x5AFEC0DE5AFEC0DFULL;
+constexpr std::uint64_t kFaultSalt = 0xD20BB4B1D20BB4B3ULL;
+
+}  // namespace
 
 int congest_bit_budget(std::size_t num_nodes) noexcept {
   return 4 * ceil_log2(static_cast<std::uint64_t>(num_nodes) + 2) + 16;
@@ -28,15 +40,19 @@ Network::Network(std::size_t num_nodes, Options options)
     : options_(options),
       processes_(num_nodes),
       halted_(num_nodes, 0),
-      inboxes_(num_nodes),
-      net_rng_(options.seed) {
+      inboxes_(num_nodes) {
   DFLP_CHECK_MSG(num_nodes > 0, "empty network");
   DFLP_CHECK_MSG(options_.bit_budget >= 8, "budget below opcode size");
   DFLP_CHECK_MSG(options_.max_msgs_per_edge_per_round >= 1,
                  "edge allowance must be positive");
   DFLP_CHECK(options_.drop_probability >= 0.0 &&
              options_.drop_probability <= 1.0);
+  DFLP_CHECK_MSG(options_.num_threads >= 1, "num_threads must be >= 1");
 }
+
+Network::Network(Network&&) noexcept = default;
+Network& Network::operator=(Network&&) noexcept = default;
+Network::~Network() = default;
 
 void Network::add_edge(NodeId u, NodeId v) {
   DFLP_CHECK_MSG(!finalized_, "add_edge after finalize");
@@ -80,7 +96,7 @@ void Network::finalize() {
   Rng seeder(options_.seed);
   for (std::size_t i = 0; i < n; ++i) node_rngs_.push_back(seeder.split(i));
 
-  edge_sends_.assign(adj_.size(), 0);
+  buffers_.resize(n);
   finalized_ = true;
 }
 
@@ -121,111 +137,100 @@ const Process& Network::process(NodeId id) const {
   return *p;
 }
 
-bool Network::is_neighbor(NodeId u, NodeId v) const {
-  const auto nbrs = neighbors_of(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
-}
-
-void Network::sink_halt(NodeId node) {
-  halted_[static_cast<std::size_t>(node)] = 1;
-}
-
-void Network::sink_send(NodeId from, NodeId to, std::uint8_t kind,
-                        std::array<std::int64_t, 3> fields, int bits) {
-  DFLP_CHECK_MSG(from == current_sender_,
-                 "send outside the sender's own round step");
-  const auto nbrs = neighbors_of(from);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
-  DFLP_CHECK_MSG(it != nbrs.end() && *it == to,
-                 "node " << from << " is not adjacent to " << to);
-
-  Message msg;
-  msg.src = from;
-  msg.dst = to;
-  msg.kind = kind;
-  msg.field = fields;
-  const int honest = min_message_bits(msg);
-  msg.bits = bits < 0 ? honest : bits;
-  DFLP_CHECK_MSG(msg.bits >= honest,
-                 "declared " << msg.bits << " bits < honest size " << honest);
-  DFLP_CHECK_MSG(msg.bits <= options_.bit_budget,
-                 "message of " << msg.bits << " bits exceeds CONGEST budget "
-                               << options_.bit_budget << " (kind="
-                               << static_cast<int>(kind) << ")");
-
-  const auto slot = static_cast<std::size_t>(
-      adj_offset_[static_cast<std::size_t>(from)] + (it - nbrs.begin()));
-  DFLP_CHECK_MSG(edge_sends_[slot] < options_.max_msgs_per_edge_per_round,
-                 "edge allowance exceeded on " << from << "->" << to
-                                               << " in round " << round_);
-  ++edge_sends_[slot];
-
-  outbox_.push_back(msg);
+void Network::order_inbox(std::vector<Message>& inbox, NodeId node) const {
+  switch (options_.delivery) {
+    case DeliveryOrder::kBySource:
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Message& a, const Message& b) {
+                  return a.src < b.src;
+                });
+      break;
+    case DeliveryOrder::kReverseSource:
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Message& a, const Message& b) {
+                  return a.src > b.src;
+                });
+      break;
+    case DeliveryOrder::kRandomShuffle: {
+      Rng shuffle_rng(derive_stream_seed(
+          options_.seed ^ kShuffleSalt,
+          static_cast<std::uint64_t>(node), round_));
+      shuffle_rng.shuffle(inbox.begin(), inbox.end());
+      break;
+    }
+  }
 }
 
 NetMetrics Network::run(std::uint64_t max_rounds) {
   DFLP_CHECK_MSG(finalized_, "run before finalize");
   for (std::size_t i = 0; i < processes_.size(); ++i)
     DFLP_CHECK_MSG(processes_[i] != nullptr, "node " << i << " has no process");
+  if (!executor_)
+    executor_ = std::make_unique<ParallelExecutor>(options_.num_threads);
+
+  RoundBuffer::Limits limits;
+  limits.bit_budget = options_.bit_budget;
+  limits.max_msgs_per_edge_per_round = options_.max_msgs_per_edge_per_round;
 
   NetMetrics run_metrics;
   for (std::uint64_t step = 0; step < max_rounds; ++step) {
-    // Quiescence: everyone halted and nothing queued for delivery.
+    // Quiescence: everyone halted and nothing queued for delivery. Every
+    // staged send was committed before the previous round ended, so the
+    // inboxes are the complete in-flight state (resume relies on this).
     const bool inflight = std::any_of(
         inboxes_.begin(), inboxes_.end(),
         [](const std::vector<Message>& ib) { return !ib.empty(); });
-    if (all_halted() && !inflight && outbox_.empty()) break;
+    if (all_halted() && !inflight) break;
 
-    // Step every live node with its inbox.
+    // Step phase: every live node runs against its private buffer. Shards
+    // only touch per-node state (inbox, buffer, rng), so any interleaving
+    // produces the same buffers.
+    executor_->for_shards(
+        processes_.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            auto& inbox = inboxes_[i];
+            if (halted_[i]) {
+              inbox.clear();
+              continue;
+            }
+            const auto id = static_cast<NodeId>(i);
+            order_inbox(inbox, id);
+            buffers_[i].begin(id, round_, neighbors_of(id), limits);
+            NodeContext ctx(buffers_[i], id, round_, neighbors_of(id),
+                            node_rngs_[i]);
+            processes_[i]->on_round(ctx, std::span<const Message>(inbox));
+            inbox.clear();
+          }
+        });
+
+    // Commit phase: drain buffers in canonical node-id order. Fault coins
+    // come from per-(seed, sender, round) streams drawn in send order, so
+    // the outcome is independent of how the step phase was scheduled.
     std::uint64_t sent_this_round = 0;
     for (std::size_t i = 0; i < processes_.size(); ++i) {
-      auto& inbox = inboxes_[i];
-      if (halted_[i]) {
-        inbox.clear();
-        continue;
+      RoundBuffer& buf = buffers_[i];
+      const auto staged = buf.staged();
+      sent_this_round += staged.size();
+      if (!staged.empty()) {
+        Rng fault_rng(derive_stream_seed(options_.seed ^ kFaultSalt,
+                                         static_cast<std::uint64_t>(i),
+                                         round_));
+        for (const Message& msg : staged) {
+          if (options_.drop_probability > 0.0 &&
+              fault_rng.bernoulli(options_.drop_probability)) {
+            ++run_metrics.dropped;
+            continue;
+          }
+          run_metrics.messages += 1;
+          run_metrics.total_bits += static_cast<std::uint64_t>(msg.bits);
+          run_metrics.max_message_bits =
+              std::max(run_metrics.max_message_bits, msg.bits);
+          inboxes_[static_cast<std::size_t>(msg.dst)].push_back(msg);
+        }
       }
-      switch (options_.delivery) {
-        case DeliveryOrder::kBySource:
-          std::sort(inbox.begin(), inbox.end(),
-                    [](const Message& a, const Message& b) {
-                      return a.src < b.src;
-                    });
-          break;
-        case DeliveryOrder::kReverseSource:
-          std::sort(inbox.begin(), inbox.end(),
-                    [](const Message& a, const Message& b) {
-                      return a.src > b.src;
-                    });
-          break;
-        case DeliveryOrder::kRandomShuffle:
-          net_rng_.shuffle(inbox.begin(), inbox.end());
-          break;
-      }
-      const auto id = static_cast<NodeId>(i);
-      NodeContext ctx(*this, id, round_, neighbors_of(id), node_rngs_[i]);
-      current_sender_ = id;
-      const std::size_t outbox_before = outbox_.size();
-      processes_[i]->on_round(ctx, std::span<const Message>(inbox));
-      sent_this_round += outbox_.size() - outbox_before;
-      current_sender_ = kNoNode;
-      inbox.clear();
+      if (buf.halt_requested()) halted_[i] = 1;
+      buf.clear();
     }
-
-    // Deliver: move outbox into next round's inboxes, applying faults.
-    for (Message& msg : outbox_) {
-      if (options_.drop_probability > 0.0 &&
-          net_rng_.bernoulli(options_.drop_probability)) {
-        ++run_metrics.dropped;
-        continue;
-      }
-      run_metrics.messages += 1;
-      run_metrics.total_bits += static_cast<std::uint64_t>(msg.bits);
-      run_metrics.max_message_bits =
-          std::max(run_metrics.max_message_bits, msg.bits);
-      inboxes_[static_cast<std::size_t>(msg.dst)].push_back(msg);
-    }
-    outbox_.clear();
-    std::fill(edge_sends_.begin(), edge_sends_.end(), 0);
     run_metrics.max_messages_in_round =
         std::max(run_metrics.max_messages_in_round, sent_this_round);
     run_metrics.rounds += 1;

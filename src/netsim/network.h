@@ -11,14 +11,41 @@
 // bit budget. Execution stops when every node has halted and no messages are
 // in flight, or when `max_rounds` elapses.
 //
+// Step/commit architecture
+// ------------------------
+// Each round runs in two phases. The *step* phase invokes every live node,
+// which writes its sends and halt request into a private per-node
+// `RoundBuffer` (netsim/round_buffer.h) — nodes share no mutable transport
+// state, so the step phase is executed over contiguous node-id shards by a
+// `ParallelExecutor` (netsim/executor.h) with `Options::num_threads`
+// threads (default 1). The *commit* phase then drains the buffers in
+// canonical node-id order: fault injection is applied, metrics are
+// accounted, and surviving messages move into next round's inboxes.
+//
 // Determinism
 // -----------
-// The runtime is single-threaded, nodes are stepped in id order, and each
-// node owns a private RNG stream derived from (network seed, node id). With
-// `DeliveryOrder::kBySource` the whole execution is a pure function of
-// (topology, processes, seed). `kRandomShuffle` permutes each inbox with the
-// *network* seed — still reproducible, but exercises order-independence.
+// The execution is a pure function of (topology, processes, options.seed) —
+// bit-identical for every thread count. Three explicit stream families
+// carry all randomness:
+//   * node coins:     `ctx.rng()` draws from a persistent per-node stream
+//                     derived once as split(seed, node);
+//   * inbox shuffle:  `kRandomShuffle` permutes node v's round-r inbox with
+//                     a fresh stream derived from (seed, v, r);
+//   * fault drops:    each message sent by node u in round r is dropped
+//                     with a fresh stream derived from (seed, u, r), drawn
+//                     in send order.
+// Because every stream is keyed by (seed, node, round) rather than drawn
+// from a shared generator, no draw depends on the order nodes were stepped.
+// `kBySource` sorts each inbox ascending by source (the canonical order),
 // `kReverseSource` is a cheap adversary for order-sensitivity tests.
+//
+// Resume semantics
+// ----------------
+// `run()` returning (quiescence or max_rounds) always leaves the engine at
+// a round boundary: every staged send has been committed into the inboxes,
+// so calling `run()` again continues the *same* execution — the next call
+// picks up at round `r+1` with the in-flight messages intact. Multi-stage
+// pipelines rely on this; tests/netsim_test.cc pins it.
 //
 // Fault injection
 // ---------------
@@ -40,11 +67,13 @@
 namespace dflp::net {
 
 class Network;
+class ParallelExecutor;
+class RoundBuffer;
 
 /// Transport abstraction NodeContext delegates to. The synchronous Network
-/// implements it directly; the alpha-synchronizer (netsim/async.h) provides
-/// an asynchronous implementation so the *same* Process code runs in both
-/// worlds.
+/// hands each node a private RoundBuffer implementing it; the
+/// alpha-synchronizer (netsim/async.h) stages its wrapped protocol's sends
+/// the same way, so the *same* Process code runs in both worlds.
 class MessageSink {
  public:
   virtual ~MessageSink() = default;
@@ -106,18 +135,21 @@ class Process {
   virtual ~Process() = default;
 
   /// Called once per round while the node is live. `inbox` holds messages
-  /// sent to this node in the previous round (empty in round 0).
+  /// sent to this node in the previous round (empty in round 0). Under a
+  /// multi-threaded engine the call may happen on a worker thread; a
+  /// process may freely touch its own members and its NodeContext but must
+  /// not reach into other nodes' state.
   virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
 };
 
 /// How each node's inbox is ordered before delivery.
 enum class DeliveryOrder : std::uint8_t {
   kBySource,       ///< ascending source id (canonical deterministic order)
-  kRandomShuffle,  ///< seeded shuffle per inbox per round
+  kRandomShuffle,  ///< per-(seed, node, round) seeded shuffle per inbox
   kReverseSource,  ///< descending source id (simple adversary)
 };
 
-class Network final : public MessageSink {
+class Network final {
  public:
   struct Options {
     /// Per-message budget in bits. The canonical CONGEST budget for an
@@ -130,15 +162,22 @@ class Network final : public MessageSink {
     double drop_probability = 0.0;
     /// Seed for node RNG streams, delivery shuffles and fault injection.
     std::uint64_t seed = 1;
+    /// Threads for the step phase (>= 1). Results are bit-identical for
+    /// every value; 1 runs inline with no pool.
+    int num_threads = 1;
   };
 
   Network(std::size_t num_nodes, Options options);
+  Network(Network&&) noexcept;
+  Network& operator=(Network&&) noexcept;
+  ~Network();
 
   /// Adds an undirected edge. Must be called before finalize(). Self loops
   /// and duplicate edges are rejected.
   void add_edge(NodeId u, NodeId v);
 
-  /// Freezes the topology (builds adjacency) and derives per-node RNGs.
+  /// Freezes the topology (builds adjacency), derives per-node RNGs and
+  /// allocates the per-node round buffers.
   /// Must be called exactly once, before set_process()/run().
   void finalize();
 
@@ -147,7 +186,8 @@ class Network final : public MessageSink {
 
   /// Runs until quiescence (all nodes halted, no messages in flight) or
   /// until `max_rounds` have executed. Returns the metrics of this run.
-  /// Calling run() again resumes (useful for multi-stage pipelines).
+  /// Calling run() again resumes the same execution (see the header
+  /// comment's resume semantics).
   NetMetrics run(std::uint64_t max_rounds);
 
   [[nodiscard]] std::size_t num_nodes() const noexcept {
@@ -166,13 +206,8 @@ class Network final : public MessageSink {
   [[nodiscard]] Process& process(NodeId id);
   [[nodiscard]] const Process& process(NodeId id) const;
 
-  // MessageSink: used by NodeContext during a node's round step.
-  void sink_send(NodeId from, NodeId to, std::uint8_t kind,
-                 std::array<std::int64_t, 3> fields, int bits) override;
-  void sink_halt(NodeId node) override;
-
  private:
-  [[nodiscard]] bool is_neighbor(NodeId u, NodeId v) const;
+  void order_inbox(std::vector<Message>& inbox, NodeId node) const;
 
   Options options_;
   bool finalized_ = false;
@@ -187,15 +222,15 @@ class Network final : public MessageSink {
   std::vector<Rng> node_rngs_;
   std::vector<std::uint8_t> halted_;
 
-  // Double-buffered mailboxes.
-  std::vector<std::vector<Message>> inboxes_;   // delivered this round
-  std::vector<Message> outbox_;                 // sent this round
-  // Per-(src-slot,dst) send counters for the CONGEST edge allowance;
-  // reset each round. Indexed by position of dst in src's adjacency.
-  std::vector<std::int8_t> edge_sends_;
-  NodeId current_sender_ = kNoNode;
+  // Double-buffered mailboxes: inboxes_ holds round r's deliveries while
+  // the step phase stages round r's sends into the per-node buffers_.
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<RoundBuffer> buffers_;
 
-  Rng net_rng_;
+  // Lazily created on first run() (keeps the class cheaply movable before
+  // any execution starts).
+  std::unique_ptr<ParallelExecutor> executor_;
+
   std::uint64_t round_ = 0;
   NetMetrics cumulative_;
 };

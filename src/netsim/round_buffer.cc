@@ -1,0 +1,71 @@
+#include "netsim/round_buffer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dflp::net {
+
+void RoundBuffer::begin(NodeId node, std::uint64_t round,
+                        std::span<const NodeId> neighbors,
+                        const Limits& limits) {
+  owner_ = node;
+  round_ = round;
+  neighbors_ = neighbors;
+  limits_ = limits;
+  staged_.clear();
+  edge_sends_.assign(neighbors.size(), 0);
+  halt_ = false;
+}
+
+void RoundBuffer::sink_send(NodeId from, NodeId to, std::uint8_t kind,
+                            std::array<std::int64_t, 3> fields, int bits) {
+  DFLP_CHECK_MSG(from == owner_,
+                 "send from node " << from
+                                   << " staged into the buffer of node "
+                                   << owner_);
+  DFLP_CHECK_MSG(kind <= limits_.max_kind,
+                 "opcode " << static_cast<int>(kind)
+                           << " exceeds the allowed maximum "
+                           << static_cast<int>(limits_.max_kind)
+                           << " (reserved for transport control traffic)");
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
+  DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
+                 "node " << from << " is not adjacent to " << to);
+
+  Message msg;
+  msg.src = from;
+  msg.dst = to;
+  msg.kind = kind;
+  msg.field = fields;
+  const int honest = min_message_bits(msg);
+  msg.bits = bits < 0 ? honest : bits;
+  DFLP_CHECK_MSG(msg.bits >= honest,
+                 "declared " << msg.bits << " bits < honest size " << honest);
+  DFLP_CHECK_MSG(msg.bits <= limits_.bit_budget,
+                 "message of " << msg.bits << " bits exceeds CONGEST budget "
+                               << limits_.bit_budget << " (kind="
+                               << static_cast<int>(kind) << ")");
+
+  const auto idx = static_cast<std::size_t>(it - neighbors_.begin());
+  DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
+                 "edge allowance exceeded on " << from << "->" << to
+                                               << " in round " << round_);
+  ++edge_sends_[idx];
+  staged_.push_back(msg);
+}
+
+void RoundBuffer::sink_halt(NodeId node) {
+  DFLP_CHECK_MSG(node == owner_,
+                 "halt for node " << node << " staged into the buffer of node "
+                                  << owner_);
+  halt_ = true;
+}
+
+void RoundBuffer::clear() noexcept {
+  staged_.clear();
+  std::fill(edge_sends_.begin(), edge_sends_.end(), 0);
+  halt_ = false;
+}
+
+}  // namespace dflp::net

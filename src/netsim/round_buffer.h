@@ -1,0 +1,85 @@
+// Per-node staging buffer for the step phase of the round engine.
+//
+// The step/commit contract
+// ------------------------
+// A round executes in two phases. In the *step* phase every live node is
+// invoked with its inbox and writes its sends and its halt request into a
+// private `RoundBuffer` — never into shared transport state. Buffers of
+// distinct nodes share nothing, so the step phase may run nodes in any
+// order, on any number of threads. In the *commit* phase the engine drains
+// the buffers in canonical node-id order, applies fault injection, and
+// moves the surviving messages into next round's inboxes. Because the
+// commit order is fixed and every random draw comes from a stream derived
+// from `(seed, node, round)` (common/rng.h `derive_stream_seed`), the whole
+// execution is a pure function of (topology, processes, seed) — identical
+// for every thread count and scheduling of the step phase.
+//
+// The buffer owns all CONGEST legality checks (adjacency, honest bit
+// declaration, per-message budget, per-edge allowance, reserved opcodes),
+// so they fire inside the sending node's own step with no shared state.
+// Both the synchronous `Network` and the alpha-synchronizer (netsim/async.h)
+// stage their wrapped protocol's sends through this one class.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netsim/message.h"
+#include "netsim/network.h"
+
+namespace dflp::net {
+
+class RoundBuffer final : public MessageSink {
+ public:
+  /// Legality limits checked at send time, supplied by the transport.
+  struct Limits {
+    int bit_budget = 64;
+    int max_msgs_per_edge_per_round = 1;
+    /// Largest opcode the staged protocol may use (the synchronizer
+    /// reserves 0xFE/0xFF for its control traffic).
+    std::uint8_t max_kind = 0xFF;
+  };
+
+  RoundBuffer() = default;
+
+  /// Re-arms the buffer for one (node, round) step. `neighbors` must be the
+  /// node's sorted adjacency and must outlive the step. Clears any
+  /// previously staged state; capacity is retained across rounds.
+  void begin(NodeId node, std::uint64_t round,
+             std::span<const NodeId> neighbors, const Limits& limits);
+
+  // MessageSink: called by NodeContext during the owner's step.
+  void sink_send(NodeId from, NodeId to, std::uint8_t kind,
+                 std::array<std::int64_t, 3> fields, int bits) override;
+  void sink_halt(NodeId node) override;
+
+  /// Messages staged this step, in send-call order, with resolved bit
+  /// sizes (>= the honest minimum).
+  [[nodiscard]] std::span<const Message> staged() const noexcept {
+    return staged_;
+  }
+  [[nodiscard]] bool halt_requested() const noexcept { return halt_; }
+  [[nodiscard]] NodeId owner() const noexcept { return owner_; }
+
+  /// Whether any message was staged to the neighbour at `neighbor_idx`
+  /// (position in the adjacency list) — the synchronizer's silent-edge
+  /// query for round tokens.
+  [[nodiscard]] bool sent_to(std::size_t neighbor_idx) const {
+    return edge_sends_.at(neighbor_idx) != 0;
+  }
+
+  /// Drops staged state after the commit phase consumed it.
+  void clear() noexcept;
+
+ private:
+  NodeId owner_ = kNoNode;
+  std::uint64_t round_ = 0;
+  std::span<const NodeId> neighbors_;
+  Limits limits_;
+  std::vector<Message> staged_;
+  std::vector<std::int8_t> edge_sends_;  ///< per neighbour index
+  bool halt_ = false;
+};
+
+}  // namespace dflp::net

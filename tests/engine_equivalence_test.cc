@@ -1,0 +1,169 @@
+// Serial/parallel equivalence sweep for the staged step/commit engine.
+//
+// The engine's contract (netsim/network.h) is that Options::num_threads is
+// purely an execution knob: for every seed, delivery order, thread count
+// and drop probability the simulation is bit-identical to the serial run —
+// same solutions, same NetMetrics, and (when a protocol fails loudly under
+// message drops) the same CheckError text. These tests pin that contract
+// for the three top-level distributed entry points.
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/aggregate.h"
+#include "core/mw_greedy.h"
+#include "core/pipeline.h"
+#include "workload/generators.h"
+
+namespace dflp {
+namespace {
+
+std::string metrics_fingerprint(const net::NetMetrics& m) {
+  std::ostringstream os;
+  os << m.rounds << '/' << m.messages << '/' << m.total_bits << '/'
+     << m.max_message_bits << '/' << m.max_messages_in_round << '/'
+     << m.dropped;
+  return os.str();
+}
+
+std::string solution_fingerprint(const fl::Instance& inst,
+                                 const fl::IntegralSolution& sol) {
+  std::ostringstream os;
+  os << "open:";
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i)
+    os << (sol.is_open(i) ? '1' : '0');
+  os << " assign:";
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j)
+    os << sol.assignment(j) << ',';
+  return os.str();
+}
+
+/// Runs `body` and folds its result — or the CheckError it throws — into a
+/// single comparable trace string. Under fault injection the protocols are
+/// allowed to fail loudly, but they must fail *identically* at every
+/// thread count.
+template <typename Body>
+std::string outcome_trace(Body&& body) {
+  try {
+    return body();
+  } catch (const CheckError& e) {
+    return std::string("CheckError: ") + e.what();
+  }
+}
+
+struct SweepCase {
+  net::DeliveryOrder delivery;
+  double drop_probability;
+};
+
+std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
+  std::string name;
+  switch (info.param.delivery) {
+    case net::DeliveryOrder::kBySource: name = "BySource"; break;
+    case net::DeliveryOrder::kRandomShuffle: name = "RandomShuffle"; break;
+    case net::DeliveryOrder::kReverseSource: name = "ReverseSource"; break;
+  }
+  name += info.param.drop_probability > 0.0 ? "_Drops" : "_Reliable";
+  return name;
+}
+
+class EngineEquivalenceTest : public testing::TestWithParam<SweepCase> {};
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+TEST_P(EngineEquivalenceTest, MwGreedyBitIdenticalAcrossThreadCounts) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 60, 7);
+  std::string baseline;
+  for (int threads : kThreadCounts) {
+    const std::string trace = outcome_trace([&] {
+      core::MwParams params;
+      params.k = 4;
+      params.seed = 11;
+      params.delivery = GetParam().delivery;
+      params.drop_probability = GetParam().drop_probability;
+      params.num_threads = threads;
+      const core::MwGreedyOutcome out = core::run_mw_greedy(inst, params);
+      return solution_fingerprint(inst, out.solution) + " | " +
+             metrics_fingerprint(out.metrics);
+    });
+    if (threads == 1) {
+      baseline = trace;
+      continue;
+    }
+    EXPECT_EQ(trace, baseline) << "threads = " << threads;
+  }
+}
+
+TEST_P(EngineEquivalenceTest, PipelineBitIdenticalAcrossThreadCounts) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kPowerLaw, 50, 3);
+  std::string baseline;
+  for (int threads : kThreadCounts) {
+    const std::string trace = outcome_trace([&] {
+      core::MwParams params;
+      params.k = 4;
+      params.seed = 5;
+      params.delivery = GetParam().delivery;
+      params.drop_probability = GetParam().drop_probability;
+      params.num_threads = threads;
+      const core::PipelineOutcome out = core::run_pipeline(inst, params);
+      std::ostringstream os;
+      os << solution_fingerprint(inst, out.solution) << " | frac "
+         << out.fractional_value << " | "
+         << metrics_fingerprint(out.frac_metrics) << " | "
+         << metrics_fingerprint(out.round_metrics);
+      return os.str();
+    });
+    if (threads == 1) {
+      baseline = trace;
+      continue;
+    }
+    EXPECT_EQ(trace, baseline) << "threads = " << threads;
+  }
+}
+
+TEST_P(EngineEquivalenceTest, DiscoverBoundsBitIdenticalAcrossThreadCounts) {
+  // discover_bounds runs on a reliable network (no drop knob); the sweep
+  // still exercises it under every delivery order and thread count.
+  if (GetParam().drop_probability > 0.0) GTEST_SKIP();
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kGreedyTight, 40, 2);
+  std::string baseline;
+  for (int threads : kThreadCounts) {
+    const std::string trace = outcome_trace([&] {
+      const core::DiscoveryOutcome out = core::discover_bounds(
+          inst, /*seed=*/9, /*diameter_bound=*/0, threads,
+          GetParam().delivery);
+      std::ostringstream os;
+      for (const core::ComponentBounds& b : out.bounds) {
+        os << b.root << ':' << b.facility_count << ':' << b.min_positive_cost
+           << ':' << b.max_cost << ':' << b.max_degree << ';';
+      }
+      os << " | " << metrics_fingerprint(out.metrics);
+      return os.str();
+    });
+    if (threads == 1) {
+      baseline = trace;
+      continue;
+    }
+    EXPECT_EQ(trace, baseline) << "threads = " << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDeliveryAndFaultModes, EngineEquivalenceTest,
+    testing::Values(
+        SweepCase{net::DeliveryOrder::kBySource, 0.0},
+        SweepCase{net::DeliveryOrder::kRandomShuffle, 0.0},
+        SweepCase{net::DeliveryOrder::kReverseSource, 0.0},
+        SweepCase{net::DeliveryOrder::kBySource, 0.15},
+        SweepCase{net::DeliveryOrder::kRandomShuffle, 0.15},
+        SweepCase{net::DeliveryOrder::kReverseSource, 0.15}),
+    case_name);
+
+}  // namespace
+}  // namespace dflp

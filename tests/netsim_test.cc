@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "common/check.h"
@@ -352,6 +353,64 @@ TEST(Network, HaltedNodeInboxDiscardedAndNotStepped) {
   }));
   net.run(10);
   EXPECT_EQ(steps_after_halt, 0);
+}
+
+// Resume contract (network.h "Resume semantics"): run() always returns at a
+// round boundary with every staged send committed, so splitting an
+// execution across multiple run() calls is invisible to the protocol —
+// even when shuffles, drops and node coins span the split point, because
+// every random stream is a function of (seed, node, round), never of how
+// the rounds were batched into run() calls.
+TEST(Network, SplitRunBitIdenticalToSingleRun) {
+  const auto run_split =
+      [](const std::vector<std::uint64_t>& chunks) -> std::string {
+    Network::Options o;
+    o.bit_budget = 64;
+    o.seed = 42;
+    o.delivery = DeliveryOrder::kRandomShuffle;
+    o.drop_probability = 0.25;
+    constexpr NodeId kN = 6;
+    Network net(kN, o);
+    for (NodeId v = 0; v < kN; ++v) net.add_edge(v, (v + 1) % kN);
+    net.finalize();
+    auto log = std::make_shared<std::ostringstream>();
+    for (NodeId v = 0; v < kN; ++v) {
+      net.set_process(
+          v, std::make_unique<Script>(
+                 [log, v](NodeContext& ctx, std::span<const Message> in) {
+                   *log << v << '@' << ctx.round() << ':';
+                   for (const Message& m : in) *log << m.src << ',';
+                   if (ctx.round() >= 14) {
+                     ctx.halt();
+                     return;
+                   }
+                   // Coin-flip target and payload: pins the per-node coin
+                   // streams across the split as well.
+                   const auto& nbrs = ctx.neighbors();
+                   const std::size_t pick = ctx.rng().bernoulli(0.5) ? 1 : 0;
+                   const auto payload = static_cast<std::int64_t>(
+                       ctx.rng().uniform_u64(128));
+                   ctx.send(nbrs[pick], 1, {payload, 0, 0});
+                 }));
+    }
+    NetMetrics total;
+    for (std::uint64_t c : chunks) {
+      const NetMetrics part = net.run(c);
+      total.rounds += part.rounds;
+      total.messages += part.messages;
+      total.total_bits += part.total_bits;
+      total.dropped += part.dropped;
+    }
+    std::ostringstream os;
+    os << log->str() << " | " << total.rounds << '/' << total.messages << '/'
+       << total.total_bits << '/' << total.dropped;
+    return os.str();
+  };
+
+  const std::string whole = run_split({100});
+  EXPECT_EQ(run_split({4, 100}), whole);
+  EXPECT_EQ(run_split({1, 1, 1, 100}), whole);
+  EXPECT_EQ(run_split({7, 2, 100}), whole);
 }
 
 TEST(Network, MetricsToStringMentionsCounts) {

@@ -6,6 +6,10 @@
 //   dflp_cli sweep    <instance.ufl|->  [seed]        # k sweep table
 //   dflp_cli bounds   <instance.ufl|->                # LP / dual bounds
 //
+// `--threads N` (anywhere on the line) runs the distributed simulations
+// with an N-thread step phase; results are bit-identical to --threads 1,
+// only the wall time changes.
+//
 // `-` reads the instance from stdin. Families: uniform, euclidean,
 // powerlaw, greedy-tight, star. Algorithms: any name printed by
 // `dflp_cli solve help`.
@@ -28,6 +32,9 @@ namespace {
 
 using namespace dflp;
 
+/// Simulator threads requested via --threads (default 1 = serial).
+int g_threads = 1;
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -36,6 +43,8 @@ int usage() {
          "  dflp_cli solve  <algo> <instance.ufl|-> [k=4] [seed=1]\n"
          "  dflp_cli sweep  <instance.ufl|-> [seed=1]\n"
          "  dflp_cli bounds <instance.ufl|->\n"
+         "options: --threads N   (simulator step-phase threads; results are\n"
+         "                        bit-identical for every N)\n"
          "families: uniform euclidean powerlaw greedy-tight star\n"
          "algorithms: mw-greedy mw-pipeline ideal-greedy seq-greedy\n"
          "            jain-vazirani mettu-plaxton jms-greedy local-search\n"
@@ -131,6 +140,7 @@ int cmd_solve(int argc, char** argv) {
   params.k = argc > 4 ? std::atoi(argv[4]) : 4;
   params.seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5]))
                          : 1;
+  params.num_threads = g_threads;
   for (const auto& [name, algo] : algo_registry()) {
     if (name == algo_name) {
       const harness::LowerBound lb = harness::compute_lower_bound(inst);
@@ -158,6 +168,7 @@ int cmd_sweep(int argc, char** argv) {
     core::MwParams params;
     params.k = k;
     params.seed = seed;
+    params.num_threads = g_threads;
     const harness::RunResult r = harness::run_algorithm(
         harness::Algo::kMwGreedy, inst, params, lb);
     table.row().cell(k).cell(r.cost, 2).cell(r.ratio, 3).cell(r.rounds).cell(
@@ -173,6 +184,24 @@ int cmd_sweep(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip `--threads N` (position-independent) before positional parsing.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      if (i + 1 >= argc) return usage();
+      g_threads = std::atoi(argv[++i]);
+      if (g_threads < 1) {
+        std::cerr << "--threads must be >= 1\n";
+        return 2;
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
