@@ -219,15 +219,18 @@ bool Synchronizer::ready_for_next() const {
 void Synchronizer::execute_round(NodeContext& ctx) {
   const auto neighbors = net_->neighbors_of(self_);
 
-  std::vector<Message> inbox;
-  if (round_ >= 1 && !pending_.empty()) {
-    inbox = std::move(pending_.front().payloads);
-    pending_.erase(pending_.begin());
+  // The inner protocol consumes this round's bucket in place — sorted into
+  // the synchronous simulator's canonical delivery order and handed over as
+  // a span — and the bucket is retired once the step returns; no per-round
+  // owning inbox vector exists.
+  const bool has_bucket = round_ >= 1 && !pending_.empty();
+  std::span<const Message> inbox;
+  if (has_bucket) {
+    std::vector<Message>& payloads = pending_.front().payloads;
+    std::sort(payloads.begin(), payloads.end(),
+              [](const Message& a, const Message& b) { return a.src < b.src; });
+    inbox = payloads;
   }
-  if (round_ >= 1) ++base_round_;
-  // Match the synchronous simulator's canonical delivery order.
-  std::sort(inbox.begin(), inbox.end(),
-            [](const Message& a, const Message& b) { return a.src < b.src; });
 
   // Step: the inner protocol writes into the same RoundBuffer type the
   // synchronous engine uses — identical legality checks, including the
@@ -238,7 +241,9 @@ void Synchronizer::execute_round(NodeContext& ctx) {
   limits.max_kind = kToken - 1;
   buffer_.begin(self_, round_, neighbors, limits);
   NodeContext inner_ctx(buffer_, self_, round_, neighbors, ctx.rng());
-  inner_->on_round(inner_ctx, std::span<const Message>(inbox));
+  inner_->on_round(inner_ctx, inbox);
+  if (has_bucket) pending_.erase(pending_.begin());
+  if (round_ >= 1) ++base_round_;
 
   // Commit: forward the staged payloads round-tagged, in send-call order
   // (the staged bits already satisfy the honest minimum; the network adds

@@ -32,6 +32,14 @@ struct NetMetrics {
   /// Messages dropped by fault injection (0 unless enabled).
   std::uint64_t dropped = 0;
 
+  /// High-water mark of messages resident in the delivery arena at any
+  /// round boundary — the transport's peak buffering requirement.
+  std::uint64_t arena_peak_messages = 0;
+
+  /// Total bytes the commit scatter moved through the arena (surviving
+  /// messages × sizeof(Message)); the transport's memory-bandwidth bill.
+  std::uint64_t bytes_moved = 0;
+
   /// Human-readable one-line summary.
   [[nodiscard]] std::string to_string() const;
 };

@@ -30,8 +30,7 @@ void NodeContext::send(NodeId to, std::uint8_t kind,
 
 void NodeContext::broadcast(std::uint8_t kind,
                             std::array<std::int64_t, 3> fields, int bits) {
-  for (NodeId nb : neighbors_)
-    sink_->sink_send(self_, nb, kind, fields, bits);
+  sink_->sink_broadcast(self_, neighbors_, kind, fields, bits);
 }
 
 void NodeContext::halt() noexcept { sink_->sink_halt(self_); }
@@ -39,8 +38,7 @@ void NodeContext::halt() noexcept { sink_->sink_halt(self_); }
 Network::Network(std::size_t num_nodes, Options options)
     : options_(options),
       processes_(num_nodes),
-      halted_(num_nodes, 0),
-      inboxes_(num_nodes) {
+      halted_(num_nodes, 0) {
   DFLP_CHECK_MSG(num_nodes > 0, "empty network");
   DFLP_CHECK_MSG(options_.bit_budget >= 8, "budget below opcode size");
   DFLP_CHECK_MSG(options_.max_msgs_per_edge_per_round >= 1,
@@ -48,6 +46,9 @@ Network::Network(std::size_t num_nodes, Options options)
   DFLP_CHECK(options_.drop_probability >= 0.0 &&
              options_.drop_probability <= 1.0);
   DFLP_CHECK_MSG(options_.num_threads >= 1, "num_threads must be >= 1");
+  live_nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i)
+    live_nodes_.push_back(static_cast<NodeId>(i));
 }
 
 Network::Network(Network&&) noexcept = default;
@@ -97,6 +98,10 @@ void Network::finalize() {
   for (std::size_t i = 0; i < n; ++i) node_rngs_.push_back(seeder.split(i));
 
   buffers_.resize(n);
+  slice_begin_.assign(n, 0);
+  slice_count_.assign(n, 0);
+  dst_count_.assign(n, 0);
+  dst_cursor_.assign(n, 0);
   finalized_ = true;
 }
 
@@ -112,17 +117,11 @@ std::span<const NodeId> Network::neighbors_of(NodeId id) const {
   DFLP_CHECK(finalized_);
   const auto i = static_cast<std::size_t>(id);
   DFLP_CHECK(i < processes_.size());
-  return {adj_.data() + adj_offset_[i],
-          static_cast<std::size_t>(adj_offset_[i + 1] - adj_offset_[i])};
+  return neighbors_unchecked(i);
 }
 
 bool Network::halted(NodeId id) const {
   return halted_.at(static_cast<std::size_t>(id)) != 0;
-}
-
-bool Network::all_halted() const noexcept {
-  return std::all_of(halted_.begin(), halted_.end(),
-                     [](std::uint8_t h) { return h != 0; });
 }
 
 Process& Network::process(NodeId id) {
@@ -137,13 +136,12 @@ const Process& Network::process(NodeId id) const {
   return *p;
 }
 
-void Network::order_inbox(std::vector<Message>& inbox, NodeId node) const {
+void Network::order_inbox(std::span<Message> inbox, NodeId node) const {
+  if (inbox.size() <= 1) return;
   switch (options_.delivery) {
     case DeliveryOrder::kBySource:
-      std::sort(inbox.begin(), inbox.end(),
-                [](const Message& a, const Message& b) {
-                  return a.src < b.src;
-                });
+      // The commit scatter fills every slice in ascending-source order
+      // (ties in send-call order) — already canonical, nothing to do.
       break;
     case DeliveryOrder::kReverseSource:
       std::sort(inbox.begin(), inbox.end(),
@@ -172,65 +170,156 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
   limits.bit_budget = options_.bit_budget;
   limits.max_msgs_per_edge_per_round = options_.max_msgs_per_edge_per_round;
 
+  const bool drops = options_.drop_probability > 0.0;
   NetMetrics run_metrics;
   for (std::uint64_t step = 0; step < max_rounds; ++step) {
-    // Quiescence: everyone halted and nothing queued for delivery. Every
+    // Quiescence: everyone halted and nothing resident in the arena. Both
+    // counters are maintained by the commit phase, so this is O(1). Every
     // staged send was committed before the previous round ended, so the
-    // inboxes are the complete in-flight state (resume relies on this).
-    const bool inflight = std::any_of(
-        inboxes_.begin(), inboxes_.end(),
-        [](const std::vector<Message>& ib) { return !ib.empty(); });
-    if (all_halted() && !inflight) break;
+    // arena is the complete in-flight state (resume relies on this).
+    if (live_nodes_.empty() && inflight_messages_ == 0) break;
 
     // Step phase: every live node runs against its private buffer. Shards
-    // only touch per-node state (inbox, buffer, rng), so any interleaving
-    // produces the same buffers.
+    // only touch per-node state (arena slice, buffer, rng), so any
+    // interleaving produces the same buffers.
     executor_->for_shards(
-        processes_.size(), [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            auto& inbox = inboxes_[i];
-            if (halted_[i]) {
-              inbox.clear();
-              continue;
-            }
-            const auto id = static_cast<NodeId>(i);
+        live_nodes_.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const NodeId id = live_nodes_[k];
+            const auto i = static_cast<std::size_t>(id);
+            const std::span<Message> inbox = inbox_slice(i);
             order_inbox(inbox, id);
-            buffers_[i].begin(id, round_, neighbors_of(id), limits);
-            NodeContext ctx(buffers_[i], id, round_, neighbors_of(id),
-                            node_rngs_[i]);
+            const std::span<const NodeId> nbrs = neighbors_unchecked(i);
+            buffers_[i].begin(id, round_, nbrs, limits);
+            NodeContext ctx(buffers_[i], id, round_, nbrs, node_rngs_[i]);
             processes_[i]->on_round(ctx, std::span<const Message>(inbox));
-            inbox.clear();
           }
         });
 
-    // Commit phase: drain buffers in canonical node-id order. Fault coins
-    // come from per-(seed, sender, round) streams drawn in send order, so
-    // the outcome is independent of how the step phase was scheduled.
+    // Commit, pass 1 — tally: walk the staged buffers in canonical node-id
+    // order, draw fault coins in send order (streams are per
+    // (seed, sender, round), so the outcome is independent of how the step
+    // phase was scheduled), account metrics and count survivors per
+    // destination. Destinations are discovered into next_touched_ so no
+    // later pass scans all N nodes. In the fault-free path the staged
+    // buffers themselves feed the scatter; with drops enabled the kept
+    // messages are packed into the contiguous survivors_ scratch instead,
+    // so the coin stream is consumed exactly once. Halt requests are
+    // collected here too, while the buffer is cache-hot, keeping the halt
+    // pass O(#halts).
     std::uint64_t sent_this_round = 0;
-    for (std::size_t i = 0; i < processes_.size(); ++i) {
-      RoundBuffer& buf = buffers_[i];
-      const auto staged = buf.staged();
+    std::uint64_t bits_acc = 0;
+    int max_bits = run_metrics.max_message_bits;
+    survivors_.clear();
+    halt_requests_.clear();
+    transport_touches_ += live_nodes_.size();
+    for (NodeId sender : live_nodes_) {
+      const auto i = static_cast<std::size_t>(sender);
+      const std::span<const Message> staged = buffers_[i].staged();
       sent_this_round += staged.size();
-      if (!staged.empty()) {
+      if (buffers_[i].halt_requested()) halt_requests_.push_back(sender);
+      if (staged.empty()) continue;
+      if (drops) {
         Rng fault_rng(derive_stream_seed(options_.seed ^ kFaultSalt,
                                          static_cast<std::uint64_t>(i),
                                          round_));
         for (const Message& msg : staged) {
-          if (options_.drop_probability > 0.0 &&
-              fault_rng.bernoulli(options_.drop_probability)) {
+          if (fault_rng.bernoulli(options_.drop_probability)) {
             ++run_metrics.dropped;
             continue;
           }
-          run_metrics.messages += 1;
-          run_metrics.total_bits += static_cast<std::uint64_t>(msg.bits);
-          run_metrics.max_message_bits =
-              std::max(run_metrics.max_message_bits, msg.bits);
-          inboxes_[static_cast<std::size_t>(msg.dst)].push_back(msg);
+          bits_acc += static_cast<std::uint64_t>(msg.bits);
+          max_bits = std::max(max_bits, msg.bits);
+          const auto dst = static_cast<std::size_t>(msg.dst);
+          if (dst_count_[dst]++ == 0) next_touched_.push_back(msg.dst);
+          survivors_.push_back(msg);
+        }
+      } else {
+        for (const Message& msg : staged) {
+          bits_acc += static_cast<std::uint64_t>(msg.bits);
+          max_bits = std::max(max_bits, msg.bits);
+          const auto dst = static_cast<std::size_t>(msg.dst);
+          if (dst_count_[dst]++ == 0) next_touched_.push_back(msg.dst);
         }
       }
-      if (buf.halt_requested()) halted_[i] = 1;
-      buf.clear();
     }
+    const std::uint64_t survivors = drops ? survivors_.size() : sent_this_round;
+    run_metrics.messages += survivors;
+    run_metrics.total_bits += bits_acc;
+    run_metrics.max_message_bits = max_bits;
+
+    // Commit, pass 2 — layout: the step phase consumed the old arena, so
+    // retire its slices and prefix-sum the tally into the new ones. Only
+    // touched destinations are visited; dst_count_ returns to all-zero.
+    for (NodeId d : touched_) slice_count_[static_cast<std::size_t>(d)] = 0;
+    touched_.swap(next_touched_);
+    next_touched_.clear();
+    std::size_t offset = 0;
+    for (NodeId d : touched_) {
+      const auto dst = static_cast<std::size_t>(d);
+      slice_begin_[dst] = offset;
+      slice_count_[dst] = dst_count_[dst];
+      dst_cursor_[dst] = offset;
+      offset += static_cast<std::size_t>(dst_count_[dst]);
+      dst_count_[dst] = 0;
+      ++transport_touches_;
+    }
+    next_arena_.resize(offset);
+
+    // Commit, pass 3 — scatter survivors into their slices. The source is
+    // read in canonical order (ascending sender, ties in send-call order),
+    // so every slice fills in exactly that order. Sharded over destination
+    // id ranges: each shard scans the whole survivor stream but writes
+    // only the destinations it owns, so no two shards touch the same
+    // cursor or arena cell. Fault-free rounds scatter straight from the
+    // staged buffers; rounds with drops read the pre-filtered survivors_
+    // scratch so the fault coins are not re-drawn.
+    if (survivors > 0) {
+      if (drops) {
+        executor_->for_shards(
+            processes_.size(), [&](std::size_t d_lo, std::size_t d_hi) {
+              for (const Message& msg : survivors_) {
+                const auto dst = static_cast<std::size_t>(msg.dst);
+                if (dst < d_lo || dst >= d_hi) continue;
+                next_arena_[dst_cursor_[dst]++] = msg;
+              }
+            });
+      } else {
+        executor_->for_shards(
+            processes_.size(), [&](std::size_t d_lo, std::size_t d_hi) {
+              for (NodeId sender : live_nodes_) {
+                const auto i = static_cast<std::size_t>(sender);
+                for (const Message& msg : buffers_[i].staged()) {
+                  const auto dst = static_cast<std::size_t>(msg.dst);
+                  if (dst < d_lo || dst >= d_hi) continue;
+                  next_arena_[dst_cursor_[dst]++] = msg;
+                }
+              }
+            });
+      }
+    }
+    arena_.swap(next_arena_);
+    inflight_messages_ = survivors;
+    run_metrics.bytes_moved += survivors * sizeof(Message);
+    run_metrics.arena_peak_messages =
+        std::max(run_metrics.arena_peak_messages, survivors);
+
+    // Commit, pass 4 — halts: apply the requests collected in pass 1 and
+    // compact the live list. Only halting nodes need their buffer dropped
+    // here (they are never stepped again); every surviving node's buffer
+    // is re-armed by begin() at the start of its next step, so this pass
+    // is O(#halts), not O(live).
+    if (!halt_requests_.empty()) {
+      for (NodeId v : halt_requests_) {
+        const auto i = static_cast<std::size_t>(v);
+        halted_[i] = 1;
+        buffers_[i].clear();
+      }
+      std::erase_if(live_nodes_, [&](NodeId v) {
+        return halted_[static_cast<std::size_t>(v)] != 0;
+      });
+    }
+
     run_metrics.max_messages_in_round =
         std::max(run_metrics.max_messages_in_round, sent_this_round);
     run_metrics.rounds += 1;
@@ -245,6 +334,9 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
   cumulative_.max_messages_in_round = std::max(
       cumulative_.max_messages_in_round, run_metrics.max_messages_in_round);
   cumulative_.dropped += run_metrics.dropped;
+  cumulative_.bytes_moved += run_metrics.bytes_moved;
+  cumulative_.arena_peak_messages = std::max(cumulative_.arena_peak_messages,
+                                             run_metrics.arena_peak_messages);
   return run_metrics;
 }
 

@@ -16,11 +16,37 @@
 // Each round runs in two phases. The *step* phase invokes every live node,
 // which writes its sends and halt request into a private per-node
 // `RoundBuffer` (netsim/round_buffer.h) — nodes share no mutable transport
-// state, so the step phase is executed over contiguous node-id shards by a
-// `ParallelExecutor` (netsim/executor.h) with `Options::num_threads`
-// threads (default 1). The *commit* phase then drains the buffers in
-// canonical node-id order: fault injection is applied, metrics are
-// accounted, and surviving messages move into next round's inboxes.
+// state, so the step phase is executed over contiguous shards of the live
+// list by a `ParallelExecutor` (netsim/executor.h) with
+// `Options::num_threads` threads (default 1). The *commit* phase then
+// delivers the staged sends by counting sort into a flat message arena
+// (below): fault injection is applied and metrics are accounted in
+// canonical node-id order, then surviving messages are scattered into next
+// round's arena.
+//
+// Flat-arena transport
+// --------------------
+// Inboxes are not per-node vectors but disjoint slices of one contiguous,
+// double-buffered `std::vector<Message>` arena laid out CSR-style. The
+// commit phase runs three passes:
+//   1. *tally* (serial, canonical sender order): draw the fault coin for
+//      every staged message, account metrics, and count survivors per
+//      destination;
+//   2. *layout*: retire the consumed arena's slices and prefix-sum the new
+//      counts into (begin, count) slices — only destinations that received
+//      messages are touched, via an explicit touched-destination list;
+//   3. *scatter*: copy surviving messages into their slices. Each
+//      destination's cursor is private to the node-id shard that owns it,
+//      so the scatter runs on the same `ParallelExecutor` as the step
+//      phase; every shard scans the staged buffers in canonical order, so
+//      each slice is filled in ascending-sender order with ties in
+//      send-call order — exactly the order the old per-node mailboxes
+//      accumulated, and already the canonical `kBySource` delivery order,
+//      so `kBySource` needs no per-inbox sort at all.
+// Per-round transport work is O(live nodes + messages), never O(N): the
+// engine iterates an explicit live-node list (halted nodes are compacted
+// out), and quiescence is an O(1) check of the maintained live/in-flight
+// counters rather than a scan.
 //
 // Determinism
 // -----------
@@ -29,20 +55,21 @@
 // carry all randomness:
 //   * node coins:     `ctx.rng()` draws from a persistent per-node stream
 //                     derived once as split(seed, node);
-//   * inbox shuffle:  `kRandomShuffle` permutes node v's round-r inbox with
-//                     a fresh stream derived from (seed, v, r);
+//   * inbox shuffle:  `kRandomShuffle` permutes node v's round-r arena
+//                     slice with a fresh stream derived from (seed, v, r);
 //   * fault drops:    each message sent by node u in round r is dropped
 //                     with a fresh stream derived from (seed, u, r), drawn
 //                     in send order.
 // Because every stream is keyed by (seed, node, round) rather than drawn
 // from a shared generator, no draw depends on the order nodes were stepped.
-// `kBySource` sorts each inbox ascending by source (the canonical order),
-// `kReverseSource` is a cheap adversary for order-sensitivity tests.
+// `kBySource` delivers each slice as laid out (ascending source — the
+// canonical order), `kReverseSource` is a cheap adversary for
+// order-sensitivity tests.
 //
 // Resume semantics
 // ----------------
 // `run()` returning (quiescence or max_rounds) always leaves the engine at
-// a round boundary: every staged send has been committed into the inboxes,
+// a round boundary: every staged send has been committed into the arena,
 // so calling `run()` again continues the *same* execution — the next call
 // picks up at round `r+1` with the in-flight messages intact. Multi-stage
 // pipelines rely on this; tests/netsim_test.cc pins it.
@@ -79,6 +106,14 @@ class MessageSink {
   virtual ~MessageSink() = default;
   virtual void sink_send(NodeId from, NodeId to, std::uint8_t kind,
                          std::array<std::int64_t, 3> fields, int bits) = 0;
+  /// Stage the same payload to every neighbour. The default forwards to
+  /// sink_send per neighbour; RoundBuffer overrides it with a fast path
+  /// that validates the payload once and stages `degree` copies.
+  virtual void sink_broadcast(NodeId from, std::span<const NodeId> neighbors,
+                              std::uint8_t kind,
+                              std::array<std::int64_t, 3> fields, int bits) {
+    for (NodeId nb : neighbors) sink_send(from, nb, kind, fields, bits);
+  }
   virtual void sink_halt(NodeId node) = 0;
 };
 
@@ -135,10 +170,11 @@ class Process {
   virtual ~Process() = default;
 
   /// Called once per round while the node is live. `inbox` holds messages
-  /// sent to this node in the previous round (empty in round 0). Under a
-  /// multi-threaded engine the call may happen on a worker thread; a
-  /// process may freely touch its own members and its NodeContext but must
-  /// not reach into other nodes' state.
+  /// sent to this node in the previous round (empty in round 0); the span
+  /// points into the engine's delivery arena and is valid only for the
+  /// duration of the call. Under a multi-threaded engine the call may
+  /// happen on a worker thread; a process may freely touch its own members
+  /// and its NodeContext but must not reach into other nodes' state.
   virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
 };
 
@@ -162,8 +198,8 @@ class Network final {
     double drop_probability = 0.0;
     /// Seed for node RNG streams, delivery shuffles and fault injection.
     std::uint64_t seed = 1;
-    /// Threads for the step phase (>= 1). Results are bit-identical for
-    /// every value; 1 runs inline with no pool.
+    /// Threads for the step phase and the commit scatter (>= 1). Results
+    /// are bit-identical for every value; 1 runs inline with no pool.
     int num_threads = 1;
   };
 
@@ -196,7 +232,24 @@ class Network final {
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
   [[nodiscard]] std::span<const NodeId> neighbors_of(NodeId id) const;
   [[nodiscard]] bool halted(NodeId id) const;
-  [[nodiscard]] bool all_halted() const noexcept;
+  [[nodiscard]] bool all_halted() const noexcept {
+    return live_nodes_.empty();
+  }
+  /// Number of non-halted nodes (O(1); the engine maintains the live list).
+  [[nodiscard]] std::size_t live_node_count() const noexcept {
+    return live_nodes_.size();
+  }
+  /// Messages currently resident in the delivery arena (O(1)).
+  [[nodiscard]] std::uint64_t inflight_messages() const noexcept {
+    return inflight_messages_;
+  }
+  /// Instrumentation: cumulative count of per-node touches the commit
+  /// phase performed (live buffers drained + destination slices laid out).
+  /// Tests use it to pin that transport work is O(live + messages) per
+  /// round rather than O(num_nodes).
+  [[nodiscard]] std::uint64_t transport_touches() const noexcept {
+    return transport_touches_;
+  }
   [[nodiscard]] const NetMetrics& cumulative_metrics() const noexcept {
     return cumulative_;
   }
@@ -207,7 +260,24 @@ class Network final {
   [[nodiscard]] const Process& process(NodeId id) const;
 
  private:
-  void order_inbox(std::vector<Message>& inbox, NodeId node) const;
+  /// Adjacency lookup without the public accessor's finalize/range checks;
+  /// run() validates `finalized_` once, so the per-node step loop skips
+  /// per-call checking.
+  [[nodiscard]] std::span<const NodeId> neighbors_unchecked(
+      std::size_t i) const noexcept {
+    return {adj_.data() + adj_offset_[i],
+            static_cast<std::size_t>(adj_offset_[i + 1] - adj_offset_[i])};
+  }
+
+  /// Node i's mutable slice of the delivery arena (empty when no messages
+  /// arrived; the begin offset is stale then and must not be dereferenced).
+  [[nodiscard]] std::span<Message> inbox_slice(std::size_t i) noexcept {
+    const auto count = static_cast<std::size_t>(slice_count_[i]);
+    if (count == 0) return {};
+    return {arena_.data() + slice_begin_[i], count};
+  }
+
+  void order_inbox(std::span<Message> inbox, NodeId node) const;
 
   Options options_;
   bool finalized_ = false;
@@ -221,11 +291,35 @@ class Network final {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> node_rngs_;
   std::vector<std::uint8_t> halted_;
-
-  // Double-buffered mailboxes: inboxes_ holds round r's deliveries while
-  // the step phase stages round r's sends into the per-node buffers_.
-  std::vector<std::vector<Message>> inboxes_;
   std::vector<RoundBuffer> buffers_;
+
+  // Double-buffered flat delivery arena: arena_ holds round r's inbound
+  // messages as disjoint per-destination slices (slice_begin_/slice_count_,
+  // valid for the destinations listed in touched_); the commit scatter
+  // fills next_arena_ and the two swap each round. dst_count_ is the
+  // counting-sort tally (all-zero between commits), dst_cursor_ the
+  // per-destination scatter cursors. When fault injection is active,
+  // survivors_ collects the messages that passed their coin flip, in
+  // canonical send order, so the scatter reads one contiguous array and
+  // the coins are drawn exactly once; fault-free rounds scatter straight
+  // from the staged buffers and leave survivors_ empty.
+  std::vector<Message> arena_;
+  std::vector<Message> next_arena_;
+  std::vector<Message> survivors_;
+  std::vector<std::size_t> slice_begin_;
+  std::vector<std::int32_t> slice_count_;
+  std::vector<std::int32_t> dst_count_;
+  std::vector<std::size_t> dst_cursor_;
+  std::vector<NodeId> touched_;
+  std::vector<NodeId> next_touched_;
+
+  // Non-halted nodes in ascending id order; compacted when nodes halt.
+  std::vector<NodeId> live_nodes_;
+  // Per-round scratch: nodes whose step requested a halt, collected by the
+  // commit tally so the halt pass only visits them.
+  std::vector<NodeId> halt_requests_;
+  std::uint64_t inflight_messages_ = 0;
+  std::uint64_t transport_touches_ = 0;
 
   // Lazily created on first run() (keeps the class cheaply movable before
   // any execution starts).

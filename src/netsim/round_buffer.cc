@@ -55,6 +55,45 @@ void RoundBuffer::sink_send(NodeId from, NodeId to, std::uint8_t kind,
   staged_.push_back(msg);
 }
 
+void RoundBuffer::sink_broadcast(NodeId from, std::span<const NodeId>,
+                                 std::uint8_t kind,
+                                 std::array<std::int64_t, 3> fields,
+                                 int bits) {
+  if (neighbors_.empty()) return;
+  DFLP_CHECK_MSG(from == owner_,
+                 "send from node " << from
+                                   << " staged into the buffer of node "
+                                   << owner_);
+  DFLP_CHECK_MSG(kind <= limits_.max_kind,
+                 "opcode " << static_cast<int>(kind)
+                           << " exceeds the allowed maximum "
+                           << static_cast<int>(limits_.max_kind)
+                           << " (reserved for transport control traffic)");
+  Message msg;
+  msg.src = from;
+  msg.kind = kind;
+  msg.field = fields;
+  const int honest = min_message_bits(msg);
+  msg.bits = bits < 0 ? honest : bits;
+  DFLP_CHECK_MSG(msg.bits >= honest,
+                 "declared " << msg.bits << " bits < honest size " << honest);
+  DFLP_CHECK_MSG(msg.bits <= limits_.bit_budget,
+                 "message of " << msg.bits << " bits exceeds CONGEST budget "
+                               << limits_.bit_budget << " (kind="
+                               << static_cast<int>(kind) << ")");
+
+  staged_.reserve(staged_.size() + neighbors_.size());
+  for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
+    DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
+                   "edge allowance exceeded on " << from << "->"
+                                                 << neighbors_[idx]
+                                                 << " in round " << round_);
+    ++edge_sends_[idx];
+    msg.dst = neighbors_[idx];
+    staged_.push_back(msg);
+  }
+}
+
 void RoundBuffer::sink_halt(NodeId node) {
   DFLP_CHECK_MSG(node == owner_,
                  "halt for node " << node << " staged into the buffer of node "

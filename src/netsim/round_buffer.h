@@ -52,6 +52,12 @@ class RoundBuffer final : public MessageSink {
   // MessageSink: called by NodeContext during the owner's step.
   void sink_send(NodeId from, NodeId to, std::uint8_t kind,
                  std::array<std::int64_t, 3> fields, int bits) override;
+  /// Broadcast fast path: validates the payload once, then stages one copy
+  /// per neighbour (checking only the per-edge allowance each time) —
+  /// skips the per-send adjacency search of `degree` sink_send calls.
+  void sink_broadcast(NodeId from, std::span<const NodeId> neighbors,
+                      std::uint8_t kind, std::array<std::int64_t, 3> fields,
+                      int bits) override;
   void sink_halt(NodeId node) override;
 
   /// Messages staged this step, in send-call order, with resolved bit

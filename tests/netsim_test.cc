@@ -2,6 +2,7 @@
 // enforcement, determinism, metrics, fault injection.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -55,6 +56,36 @@ TEST(Message, MinMessageBits) {
   EXPECT_EQ(min_message_bits(m), 8);  // opcode only
   m.field = {255, 0, 0};
   EXPECT_EQ(min_message_bits(m), 17);
+}
+
+TEST(Message, BitsForValueExtremes) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  // Sign-magnitude: INT64_MAX needs 63 magnitude bits + sign; INT64_MIN's
+  // magnitude 2^63 needs one more.
+  EXPECT_EQ(bits_for_value(kMax), 64);
+  EXPECT_EQ(bits_for_value(kMin), 65);
+  EXPECT_EQ(bits_for_value(kMin + 1), 64);  // magnitude 2^63 - 1
+  // Powers of two straddle a magnitude-bit boundary.
+  EXPECT_EQ(bits_for_value((std::int64_t{1} << 62) - 1), 63);
+  EXPECT_EQ(bits_for_value(std::int64_t{1} << 62), 64);
+  EXPECT_EQ(bits_for_value(-(std::int64_t{1} << 62)), 64);
+}
+
+TEST(Message, MinMessageBitsAllZeroFieldsIsOpcodeOnly) {
+  // Zero payload words are free: the honest size never drops below the
+  // 8-bit opcode, and all-zero fields add nothing on top of it.
+  Message m;
+  m.field = {0, 0, 0};
+  EXPECT_EQ(min_message_bits(m), 8);
+  m.kind = 0xFF;  // opcode value does not change the size
+  EXPECT_EQ(min_message_bits(m), 8);
+  // Extreme payloads still fit the declared-size arithmetic: three
+  // INT64_MIN words cost 8 + 3 * 65 bits.
+  m.field = {std::numeric_limits<std::int64_t>::min(),
+             std::numeric_limits<std::int64_t>::min(),
+             std::numeric_limits<std::int64_t>::min()};
+  EXPECT_EQ(min_message_bits(m), 8 + 3 * 65);
 }
 
 TEST(Network, TopologyValidation) {
@@ -337,6 +368,24 @@ TEST(Network, CongestBudgetGrowsLogarithmically) {
   EXPECT_GE(small, 16);
 }
 
+TEST(Network, CongestBudgetMonotoneInNetworkSize) {
+  // The canonical budget must never shrink as the network grows — a
+  // protocol tuned on a small instance stays legal on a larger one.
+  int prev = congest_bit_budget(1);
+  for (std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{15},
+                        std::size_t{16}, std::size_t{17}, std::size_t{1000},
+                        std::size_t{1} << 16, std::size_t{1} << 20,
+                        std::size_t{1} << 30}) {
+    const int budget = congest_bit_budget(n);
+    EXPECT_GE(budget, prev) << "budget shrank at n=" << n;
+    // Any node id fits in a single payload word under the budget.
+    Message probe;
+    probe.field = {static_cast<std::int64_t>(n - 1), 0, 0};
+    EXPECT_LE(min_message_bits(probe), budget) << "n=" << n;
+    prev = budget;
+  }
+}
+
 TEST(Network, HaltedNodeInboxDiscardedAndNotStepped) {
   Network net(2, opts());
   net.add_edge(0, 1);
@@ -411,6 +460,45 @@ TEST(Network, SplitRunBitIdenticalToSingleRun) {
   EXPECT_EQ(run_split({4, 100}), whole);
   EXPECT_EQ(run_split({1, 1, 1, 100}), whole);
   EXPECT_EQ(run_split({7, 2, 100}), whole);
+}
+
+// Commit-cost contract (network.h): each round the transport does work
+// proportional to the live nodes plus the destinations that actually
+// received traffic — never to the total node count. On a star where every
+// leaf halts immediately, 50 further hub-only rounds must cost ~2 touches
+// per round, not ~N.
+TEST(Network, MostlyHaltedNetworkCommitsInLivePlusMessageWork) {
+  constexpr NodeId kLeaves = 999;
+  Network net(kLeaves + 1, opts());
+  for (NodeId leaf = 1; leaf <= kLeaves; ++leaf) net.add_edge(0, leaf);
+  net.finalize();
+  net.set_process(0, std::make_unique<Script>(
+                         [](NodeContext& ctx, auto) {
+                           if (ctx.round() >= 50) {
+                             ctx.halt();
+                             return;
+                           }
+                           // Keep one destination warm so the message term
+                           // of the bound is exercised too.
+                           ctx.send(1, /*kind=*/1);
+                         }));
+  fill_idle(net, {0});
+
+  EXPECT_FALSE(net.all_halted());
+  const NetMetrics m = net.run(1000);
+
+  EXPECT_EQ(m.rounds, 51u);  // 50 hub rounds + the round every leaf halted
+  EXPECT_TRUE(net.all_halted());
+  EXPECT_EQ(net.live_node_count(), 0u);
+  EXPECT_EQ(net.inflight_messages(), 0u);
+  // Round 0 tallies all 1000 live nodes; afterwards each round touches the
+  // hub plus the single warm destination. A transport that scanned every
+  // node per round would register >= 51000 touches.
+  EXPECT_GE(net.transport_touches(), 1000u);
+  EXPECT_LE(net.transport_touches(), 1500u);
+  // Quiescence is observable without re-running: a further run() exits at
+  // the first round boundary.
+  EXPECT_EQ(net.run(10).rounds, 0u);
 }
 
 TEST(Network, MetricsToStringMentionsCounts) {
