@@ -1,0 +1,187 @@
+// E11 — fault-injection campaign (`bench_faults`).
+//
+// Sweeps the fault grid drop rate × boot-crash fraction × burst length on
+// a uniform bipartite instance, once without and once with the reliable
+// transport, and reports for every cell whether the run completed, whether
+// the solution matches the fault-free baseline bit-for-bit, the cost
+// ratio, and the recovery bill (round dilation, retransmissions,
+// duplicate discards). Without the transport the protocol is expected to
+// fail loudly once loss is non-trivial — the diagnostic names the first
+// lost message; with it, every cell must return the fault-free solution.
+//
+// Results go to stdout as a markdown table and to a machine-readable
+// `BENCH_faults.json` (override with `--out`). `--smoke` shrinks the grid
+// for CI.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/faults.h"
+#include "workload/generators.h"
+
+namespace dflp::benchx {
+namespace {
+
+struct Cell {
+  double drop = 0.0;
+  double crash_frac = 0.0;
+  int burst_len = 0;
+  bool reliable = false;
+};
+
+std::string cell_name(const Cell& c) {
+  std::ostringstream os;
+  os << "drop" << c.drop << "_crash" << c.crash_frac << "_burst"
+     << c.burst_len << (c.reliable ? "_reliable" : "_bare");
+  return os.str();
+}
+
+core::MwParams cell_params(const Cell& c) {
+  core::MwParams p;
+  p.k = 4;
+  p.seed = 11;
+  p.faults.drop_probability = c.drop;
+  if (c.burst_len > 0) {
+    p.faults.burst.p_good_to_bad = 0.05;
+    p.faults.burst.p_bad_to_good = 1.0 / c.burst_len;
+  }
+  p.boot_crash_fraction = c.crash_frac;
+  p.faults.fault_seed = 29;
+  p.reliable = c.reliable;
+  return p;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (ch == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(ch);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const std::vector<Cell>& cells,
+                const std::vector<harness::FaultRunReport>& reports) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"faults\",\n  \"mode\": \"" << mode
+      << "\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Cell& c = cells[i];
+    const harness::FaultRunReport& r = reports[i];
+    out << "    {\"scenario\": \"" << r.scenario << "\", \"drop\": " << c.drop
+        << ", \"crash_frac\": " << c.crash_frac
+        << ", \"burst_len\": " << c.burst_len
+        << ", \"reliable\": " << (c.reliable ? "true" : "false")
+        << ", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"feasible\": " << (r.feasible ? "true" : "false")
+        << ", \"matches_fault_free\": "
+        << (r.matches_fault_free ? "true" : "false")
+        << ", \"cost_ratio\": " << r.cost_ratio
+        << ", \"rounds\": " << r.rounds
+        << ", \"round_dilation\": " << r.round_dilation
+        << ", \"dropped\": " << r.dropped
+        << ", \"duplicated\": " << r.duplicated
+        << ", \"crashed\": " << r.crashed
+        << ", \"retransmissions\": " << r.retransmissions
+        << ", \"duplicates_discarded\": " << r.duplicates_discarded;
+    if (!r.completed)
+      out << ", \"diagnostic\": \"" << json_escape(r.diagnostic) << "\"";
+    out << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int main_impl(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_faults.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_faults [--smoke] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  // The bipartite generator at a scale where a 10% boot-crash plan is
+  // non-empty and the unprotected protocol reliably trips over loss.
+  workload::UniformParams gen;
+  gen.num_facilities = smoke ? 20 : 40;
+  gen.num_clients = smoke ? 80 : 160;
+  gen.client_degree = smoke ? 4 : 5;
+  const fl::Instance inst = workload::uniform_random(gen, 19);
+
+  const std::vector<double> drops =
+      smoke ? std::vector<double>{0.1, 0.2}
+            : std::vector<double>{0.0, 0.05, 0.1, 0.2};
+  const std::vector<double> crash_fracs =
+      smoke ? std::vector<double>{0.0, 0.1} : std::vector<double>{0.0, 0.1};
+  const std::vector<int> burst_lens =
+      smoke ? std::vector<int>{0} : std::vector<int>{0, 4};
+
+  std::vector<Cell> cells;
+  for (double drop : drops)
+    for (double crash : crash_fracs)
+      for (int burst : burst_lens)
+        for (bool reliable : {false, true})
+          cells.push_back({drop, crash, burst, reliable});
+
+  std::vector<harness::FaultScenario> scenarios;
+  scenarios.reserve(cells.size());
+  for (const Cell& c : cells)
+    scenarios.push_back({cell_name(c), cell_params(c)});
+
+  std::cout << "\n# E11 — fault-injection campaign on " << inst.describe()
+            << (smoke ? " (smoke)" : "") << "\n\n";
+  const std::vector<harness::FaultRunReport> reports =
+      harness::run_fault_campaign(inst, scenarios);
+
+  std::cout << "| scenario | ok | match | cost-ratio | rounds | dilation | "
+               "dropped | crashed | retx | dup-disc |\n";
+  std::cout << "|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const harness::FaultRunReport& r : reports) {
+    std::cout << "| " << r.scenario << " | " << (r.completed ? "yes" : "NO")
+              << " | " << (r.matches_fault_free ? "yes" : "no") << " | "
+              << r.cost_ratio << " | " << r.rounds << " | "
+              << r.round_dilation << " | " << r.dropped << " | " << r.crashed
+              << " | " << r.retransmissions << " | "
+              << r.duplicates_discarded << " |\n";
+    if (!r.completed)
+      std::cout << "  failure: " << r.diagnostic << "\n";
+    std::cout.flush();
+  }
+
+  write_json(out_path, smoke ? "smoke" : "full", cells, reports);
+  std::cout << "\nwrote " << out_path << "\n";
+
+  // Gate: every reliable cell must have recovered the fault-free solution.
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (cells[i].reliable &&
+        (!reports[i].completed || !reports[i].matches_fault_free)) {
+      std::cerr << "FAIL: reliable cell " << reports[i].scenario
+                << " did not recover the fault-free solution\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dflp::benchx
+
+int main(int argc, char** argv) {
+  return dflp::benchx::main_impl(argc, argv);
+}

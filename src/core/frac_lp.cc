@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/bipartite.h"
+#include "core/transport.h"
 
 namespace dflp::core {
 
@@ -222,51 +223,58 @@ FracOutcome run_frac_lp(const fl::Instance& inst, const MwParams& params) {
                             static_cast<std::uint64_t>(shared.sched.levels) *
                             static_cast<std::uint64_t>(shared.sched.subphases);
 
+  const std::uint64_t logical_bound = shared.scheduled_rounds + 8;
+
   net::Network::Options options;
   options.bit_budget = shared.sched.bit_budget;
   options.seed = params.seed;
-  options.drop_probability = params.drop_probability;
   options.num_threads = params.num_threads;
   options.delivery = params.delivery;
+  apply_transport_options(options, params, logical_bound);
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
     net.set_process(facility_node(i),
-                    std::make_unique<FacilityProc>(
-                        &shared, inst.opening_cost(i),
-                        facility_local_edges(inst, i)));
+                    maybe_reliable(std::make_unique<FacilityProc>(
+                                       &shared, inst.opening_cost(i),
+                                       facility_local_edges(inst, i)),
+                                   params, shared.sched.bit_budget));
   }
   for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
     net.set_process(client_node(inst, j),
-                    std::make_unique<ClientProc>(
-                        &shared, client_local_edges(inst, j)));
+                    maybe_reliable(std::make_unique<ClientProc>(
+                                       &shared, client_local_edges(inst, j)),
+                                   params, shared.sched.bit_budget));
   }
 
-  FracOutcome outcome(inst);
-  outcome.metrics = net.run(shared.scheduled_rounds + 8);
-  outcome.schedule = shared.sched;
+  return with_fault_context(net, [&] {
+    FracOutcome outcome(inst);
+    outcome.metrics = net.run(transport_max_rounds(params, logical_bound));
+    outcome.schedule = shared.sched;
 
-  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
-    const auto& proc =
-        static_cast<const FacilityProc&>(net.process(facility_node(i)));
-    outcome.fractional.y[static_cast<std::size_t>(i)] =
-        y_of_raises(shared.sched, proc.raises());
-  }
-  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
-    const auto& proc =
-        static_cast<const ClientProc&>(net.process(client_node(inst, j)));
-    const std::vector<double> x = proc.allocate_x();
-    const std::size_t base = inst.client_edge_offset(j);
-    for (std::size_t t = 0; t < x.size(); ++t)
-      outcome.fractional.x[base + t] = x[t];
-    if (proc.covered_by_mopup()) ++outcome.mopup_clients;
-  }
-  if (params.mopup) {
-    std::string why;
-    DFLP_CHECK_MSG(outcome.fractional.is_feasible(inst, 1e-7, &why),
-                   "fractional stage with mop-up must be feasible: " << why);
-  }
-  return outcome;
+    for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+      const auto& proc =
+          transport_inner<FacilityProc>(net, params, facility_node(i));
+      outcome.fractional.y[static_cast<std::size_t>(i)] =
+          y_of_raises(shared.sched, proc.raises());
+    }
+    for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+      const auto& proc =
+          transport_inner<ClientProc>(net, params, client_node(inst, j));
+      const std::vector<double> x = proc.allocate_x();
+      const std::size_t base = inst.client_edge_offset(j);
+      for (std::size_t t = 0; t < x.size(); ++t)
+        outcome.fractional.x[base + t] = x[t];
+      if (proc.covered_by_mopup()) ++outcome.mopup_clients;
+    }
+    outcome.transport = collect_transport_stats(net, params);
+    if (params.mopup) {
+      std::string why;
+      DFLP_CHECK_MSG(outcome.fractional.is_feasible(inst, 1e-7, &why),
+                     "fractional stage with mop-up must be feasible: " << why);
+    }
+    return outcome;
+  });
 }
 
 }  // namespace dflp::core

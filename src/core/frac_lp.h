@@ -21,6 +21,7 @@
 #include "fl/instance.h"
 #include "fl/solution.h"
 #include "netsim/metrics.h"
+#include "netsim/reliable.h"
 
 namespace dflp::core {
 
@@ -30,6 +31,8 @@ struct FracOutcome {
   MwSchedule schedule;
   /// Clients covered only by the mop-up.
   int mopup_clients = 0;
+  /// Recovery-layer counters (all-zero unless `MwParams::reliable`).
+  net::ReliableStats transport;
 
   explicit FracOutcome(const fl::Instance& inst) : fractional(inst) {}
 };

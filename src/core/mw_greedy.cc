@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/bipartite.h"
+#include "core/transport.h"
 
 namespace dflp::core {
 
@@ -288,50 +289,57 @@ MwGreedyOutcome run_mw_greedy(const fl::Instance& inst,
                             static_cast<std::uint64_t>(shared.sched.levels) *
                             static_cast<std::uint64_t>(shared.sched.subphases);
 
+  const std::uint64_t logical_bound = shared.scheduled_rounds + 8;
+
   net::Network::Options options;
   options.bit_budget = shared.sched.bit_budget;
   options.seed = params.seed;
-  options.drop_probability = params.drop_probability;
   options.num_threads = params.num_threads;
   options.delivery = params.delivery;
+  apply_transport_options(options, params, logical_bound);
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
     net.set_process(facility_node(i),
-                    std::make_unique<FacilityProc>(
-                        &shared, inst.opening_cost(i),
-                        facility_local_edges(inst, i)));
+                    maybe_reliable(std::make_unique<FacilityProc>(
+                                       &shared, inst.opening_cost(i),
+                                       facility_local_edges(inst, i)),
+                                   params, shared.sched.bit_budget));
   }
   for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
     net.set_process(client_node(inst, j),
-                    std::make_unique<ClientProc>(
-                        &shared, client_local_edges(inst, j)));
+                    maybe_reliable(std::make_unique<ClientProc>(
+                                       &shared, client_local_edges(inst, j)),
+                                   params, shared.sched.bit_budget));
   }
 
-  const std::uint64_t max_rounds = shared.scheduled_rounds + 8;
-  MwGreedyOutcome outcome{fl::IntegralSolution(inst), net.run(max_rounds),
-                          shared.sched, 0};
+  const std::uint64_t max_rounds = transport_max_rounds(params, logical_bound);
+  return with_fault_context(net, [&] {
+    MwGreedyOutcome outcome{fl::IntegralSolution(inst), net.run(max_rounds),
+                            shared.sched, 0, {}};
 
-  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
-    const auto& proc =
-        static_cast<const FacilityProc&>(net.process(facility_node(i)));
-    if (proc.opened()) outcome.solution.open(i);
-  }
-  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
-    const auto& proc =
-        static_cast<const ClientProc&>(net.process(client_node(inst, j)));
-    if (proc.covered()) {
-      outcome.solution.assign(
-          j, node_to_facility(proc.assigned_facility_node()));
+    for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+      const auto& proc =
+          transport_inner<FacilityProc>(net, params, facility_node(i));
+      if (proc.opened()) outcome.solution.open(i);
     }
-    if (proc.covered_by_mopup()) ++outcome.mopup_clients;
-  }
-  if (params.mopup) {
-    std::string why;
-    DFLP_CHECK_MSG(outcome.solution.is_feasible(inst, &why),
-                   "mw-greedy with mop-up must be feasible: " << why);
-  }
-  return outcome;
+    for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+      const auto& proc =
+          transport_inner<ClientProc>(net, params, client_node(inst, j));
+      if (proc.covered()) {
+        outcome.solution.assign(
+            j, node_to_facility(proc.assigned_facility_node()));
+      }
+      if (proc.covered_by_mopup()) ++outcome.mopup_clients;
+    }
+    outcome.transport = collect_transport_stats(net, params);
+    if (params.mopup) {
+      std::string why;
+      DFLP_CHECK_MSG(outcome.solution.is_feasible(inst, &why),
+                     "mw-greedy with mop-up must be feasible: " << why);
+    }
+    return outcome;
+  });
 }
 
 MwGreedyAsyncOutcome run_mw_greedy_async(const fl::Instance& inst,

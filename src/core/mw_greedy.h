@@ -29,6 +29,7 @@
 #include "fl/solution.h"
 #include "netsim/async.h"
 #include "netsim/metrics.h"
+#include "netsim/reliable.h"
 
 namespace dflp::core {
 
@@ -40,6 +41,9 @@ struct MwGreedyOutcome {
   /// mopup disabled these remain unassigned and the solution is
   /// infeasible — the E8 ablation reports this).
   int mopup_clients = 0;
+  /// Recovery-layer counters, aggregated over all nodes (all-zero unless
+  /// the run used `MwParams::reliable`).
+  net::ReliableStats transport;
 };
 
 /// Runs the distributed greedy end-to-end on a simulated CONGEST network.

@@ -47,11 +47,22 @@ struct MwParams {
   bool mopup = true;
   /// Rounding stage: multiplier on the per-phase opening probability.
   double rounding_boost = 1.0;
-  /// Fault injection: per-message drop probability in the simulator. The
-  /// paper's model is reliable (0.0); positive values exist so tests can
-  /// verify the protocols fail *loudly* (CheckError) rather than silently
-  /// emitting infeasible output.
-  double drop_probability = 0.0;
+  /// Fault injection plan for the simulator (netsim/fault.h): i.i.d. and
+  /// burst message loss, bipartition windows, duplication, crash-stop
+  /// failures. The paper's model is reliable (default: no faults); faulted
+  /// runs either fail *loudly* (CheckError naming the first lost message)
+  /// or opt into the recovery layer below.
+  net::FaultPlan::Options faults;
+  /// Run every process under the ReliableChannel adapter
+  /// (netsim/reliable.h): acks + retransmissions recover message loss, so
+  /// the run returns the bit-identical fault-free solution at the price of
+  /// round dilation and header bits.
+  bool reliable = false;
+  /// Harness-level crash-before-start model: this fraction of facilities
+  /// (seeded by `faults.fault_seed`) is removed before the algorithm runs;
+  /// the survivors solve the pruned instance. Applied by
+  /// harness/faults.h, not by the core runners.
+  double boot_crash_fraction = 0.0;
   /// Simulator threads for the step phase (>= 1). Purely an execution
   /// knob: results are bit-identical for every value.
   int num_threads = 1;

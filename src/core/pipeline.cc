@@ -16,6 +16,8 @@ PipelineOutcome run_pipeline(const fl::Instance& inst,
   outcome.schedule = frac.schedule;
   outcome.frac_mopup_clients = frac.mopup_clients;
   outcome.round_fallback_clients = rounded.fallback_clients;
+  outcome.transport = frac.transport;
+  outcome.transport.merge(rounded.transport);
   return outcome;
 }
 

@@ -23,6 +23,9 @@ struct PipelineOutcome {
   MwSchedule schedule;
   int frac_mopup_clients = 0;
   int round_fallback_clients = 0;
+  /// Recovery-layer counters over both stages (all-zero unless
+  /// `MwParams::reliable`).
+  net::ReliableStats transport;
 
   explicit PipelineOutcome(const fl::Instance& inst) : solution(inst) {}
 

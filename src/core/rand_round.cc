@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/bipartite.h"
+#include "core/transport.h"
 
 namespace dflp::core {
 
@@ -169,19 +170,22 @@ RoundOutcome run_rand_round(const fl::Instance& inst,
   shared.scheduled_rounds =
       2ULL * static_cast<std::uint64_t>(schedule.rounding_phases);
 
+  const std::uint64_t logical_bound = shared.scheduled_rounds + 8;
+
   net::Network::Options options;
   options.bit_budget = schedule.bit_budget;
   options.seed = params.seed ^ 0x5EEDB00572ULL;  // decorrelate from stage 1
-  options.drop_probability = params.drop_probability;
   options.num_threads = params.num_threads;
   options.delivery = params.delivery;
+  apply_transport_options(options, params, logical_bound);
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
     net.set_process(facility_node(i),
-                    std::make_unique<FacilityProc>(
-                        &shared,
-                        fractional.y[static_cast<std::size_t>(i)]));
+                    maybe_reliable(std::make_unique<FacilityProc>(
+                                       &shared,
+                                       fractional.y[static_cast<std::size_t>(i)]),
+                                   params, schedule.bit_budget));
   }
   for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
     const std::size_t base = inst.client_edge_offset(j);
@@ -190,30 +194,35 @@ RoundOutcome run_rand_round(const fl::Instance& inst,
                           fractional.x.begin() +
                               static_cast<std::ptrdiff_t>(base + deg));
     net.set_process(client_node(inst, j),
-                    std::make_unique<ClientProc>(
-                        &shared, client_local_edges(inst, j), std::move(x)));
+                    maybe_reliable(std::make_unique<ClientProc>(
+                                       &shared, client_local_edges(inst, j),
+                                       std::move(x)),
+                                   params, schedule.bit_budget));
   }
 
-  RoundOutcome outcome(inst);
-  outcome.metrics = net.run(shared.scheduled_rounds + 8);
+  return with_fault_context(net, [&] {
+    RoundOutcome outcome(inst);
+    outcome.metrics = net.run(transport_max_rounds(params, logical_bound));
 
-  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
-    const auto& proc =
-        static_cast<const FacilityProc&>(net.process(facility_node(i)));
-    if (proc.opened()) outcome.solution.open(i);
-  }
-  for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
-    const auto& proc =
-        static_cast<const ClientProc&>(net.process(client_node(inst, j)));
-    DFLP_CHECK(proc.covered());
-    outcome.solution.assign(j,
-                            node_to_facility(proc.assigned_facility_node()));
-    if (proc.used_fallback()) ++outcome.fallback_clients;
-  }
-  std::string why;
-  DFLP_CHECK_MSG(outcome.solution.is_feasible(inst, &why),
-                 "rounded solution must be feasible: " << why);
-  return outcome;
+    for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {
+      const auto& proc =
+          transport_inner<FacilityProc>(net, params, facility_node(i));
+      if (proc.opened()) outcome.solution.open(i);
+    }
+    for (fl::ClientId j = 0; j < inst.num_clients(); ++j) {
+      const auto& proc =
+          transport_inner<ClientProc>(net, params, client_node(inst, j));
+      DFLP_CHECK(proc.covered());
+      outcome.solution.assign(j,
+                              node_to_facility(proc.assigned_facility_node()));
+      if (proc.used_fallback()) ++outcome.fallback_clients;
+    }
+    outcome.transport = collect_transport_stats(net, params);
+    std::string why;
+    DFLP_CHECK_MSG(outcome.solution.is_feasible(inst, &why),
+                   "rounded solution must be feasible: " << why);
+    return outcome;
+  });
 }
 
 }  // namespace dflp::core

@@ -19,6 +19,7 @@
 #include "fl/instance.h"
 #include "fl/solution.h"
 #include "netsim/metrics.h"
+#include "netsim/reliable.h"
 
 namespace dflp::core {
 
@@ -27,6 +28,8 @@ struct RoundOutcome {
   net::NetMetrics metrics;
   /// Clients served only by the deterministic fallback.
   int fallback_clients = 0;
+  /// Recovery-layer counters (all-zero unless `MwParams::reliable`).
+  net::ReliableStats transport;
 
   explicit RoundOutcome(const fl::Instance& inst) : solution(inst) {}
 };

@@ -6,7 +6,8 @@ namespace dflp::harness {
 
 Table results_table(const std::vector<RunResult>& results) {
   Table table({"algorithm", "cost", "ratio-vs-LB", "rounds", "messages",
-               "kbits", "max-msg-bits", "threads", "wall-ms"});
+               "kbits", "max-msg-bits", "threads", "dropped", "crashed",
+               "retx", "dilation", "wall-ms"});
   for (const RunResult& r : results) {
     table.row()
         .cell(r.algo)
@@ -17,6 +18,10 @@ Table results_table(const std::vector<RunResult>& results) {
         .cell(static_cast<double>(r.total_bits) / 1000.0, 1)
         .cell(r.max_message_bits)
         .cell(r.threads)
+        .cell(r.dropped)
+        .cell(r.crashed)
+        .cell(r.retransmitted)
+        .cell(r.round_dilation, 2)
         .cell(r.wall_ms, 2);
   }
   return table;

@@ -10,7 +10,8 @@
 namespace dflp::harness {
 
 /// Standard columns: algo | cost | ratio | rounds | messages | kbits |
-/// max-msg-bits | wall-ms.
+/// max-msg-bits | threads | dropped | crashed | retx | dilation |
+/// wall-ms.
 [[nodiscard]] Table results_table(const std::vector<RunResult>& results);
 
 /// Prints a titled section with the lower-bound provenance to stdout.

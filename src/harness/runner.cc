@@ -6,6 +6,7 @@
 #include "core/ideal_greedy.h"
 #include "core/mw_greedy.h"
 #include "core/pipeline.h"
+#include "harness/faults.h"
 #include "lp/dual_ascent.h"
 #include "lp/ufl_lp.h"
 #include "seq/greedy.h"
@@ -75,12 +76,18 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
   fl::IntegralSolution sol;
   switch (algo) {
     case Algo::kMwGreedy: {
-      core::MwGreedyOutcome out = core::run_mw_greedy(inst, params);
+      // Routed through the fault harness so boot crashes are honoured;
+      // identical to run_mw_greedy when boot_crash_fraction is 0.
+      core::MwGreedyOutcome out = run_mw_greedy_with_faults(inst, params);
       sol = std::move(out.solution);
       result.rounds = out.metrics.rounds;
       result.messages = out.metrics.messages;
       result.total_bits = out.metrics.total_bits;
       result.max_message_bits = out.metrics.max_message_bits;
+      result.dropped = out.metrics.dropped;
+      result.duplicated = out.metrics.duplicated;
+      result.crashed = out.metrics.crashed;
+      result.retransmitted = out.transport.retransmissions;
       break;
     }
     case Algo::kPipeline: {
@@ -92,6 +99,13 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
           out.frac_metrics.total_bits + out.round_metrics.total_bits;
       result.max_message_bits = std::max(out.frac_metrics.max_message_bits,
                                          out.round_metrics.max_message_bits);
+      result.dropped =
+          out.frac_metrics.dropped + out.round_metrics.dropped;
+      result.duplicated =
+          out.frac_metrics.duplicated + out.round_metrics.duplicated;
+      result.crashed =
+          out.frac_metrics.crashed + out.round_metrics.crashed;
+      result.retransmitted = out.transport.retransmissions;
       break;
     }
     case Algo::kIdealGreedy: {

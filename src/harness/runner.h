@@ -56,6 +56,14 @@ struct RunResult {
   /// messages and bits are bit-identical across thread counts.
   int threads = 1;
   double wall_ms = 0.0;
+  // Fault-injection and recovery counters (0 on fault-free runs):
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t crashed = 0;        ///< boot-crashed facilities
+  std::uint64_t retransmitted = 0;  ///< reliable-channel re-sends
+  /// rounds / fault-free-baseline rounds; 0 when no baseline was run
+  /// (fault-free executions, or callers that skip the comparison).
+  double round_dilation = 0.0;
 };
 
 /// Runs `algo` on `inst`; `params` applies to the distributed algorithms.

@@ -16,6 +16,10 @@ int min_message_bits(const Message& msg) noexcept {
   for (std::int64_t word : msg.field) {
     if (word != 0) bits += bits_for_value(word);
   }
+  if (msg.has_header) {
+    bits += bits_for_value(msg.hdr.seq) + bits_for_value(msg.hdr.ack) +
+            bits_for_value(msg.hdr.tag) + TransportHeader::kFlagBits;
+  }
   return bits;
 }
 

@@ -18,6 +18,29 @@ namespace dflp::net {
 using NodeId = std::int32_t;
 inline constexpr NodeId kNoNode = -1;
 
+/// Transport-layer header carried by reliable-channel frames
+/// (netsim/reliable.h): a per-link sequence number, a cumulative ack, and
+/// the logical round tag, plus flag bits. Ordinary protocol messages do not
+/// carry one; when present (`Message::has_header`) its words are charged
+/// into the honest wire size, so recovery overhead is paid out of the same
+/// CONGEST budget as the payload.
+struct TransportHeader {
+  std::int64_t seq = 0;   ///< per-link item sequence number
+  std::int64_t ack = 0;   ///< cumulative: items [0, ack) received in order
+  std::int64_t tag = 0;   ///< logical round of the carried item
+  std::uint8_t flags = 0; ///< TransportFlag bits
+
+  /// Wire bits of the flag field (item / end-of-round / fin).
+  static constexpr int kFlagBits = 3;
+};
+
+/// Flag bits of TransportHeader::flags.
+enum TransportFlag : std::uint8_t {
+  kFrameItem = 1, ///< frame carries a sequenced item (data, token or FIN)
+  kFrameEor = 2,  ///< item is the sender's last for logical round `tag`
+  kFrameFin = 4,  ///< item is the sender's final one on this link
+};
+
 /// A single message. `kind` is a protocol-defined opcode; `field` holds up
 /// to three integer payload words (costs are transported quantized — see
 /// core/quantize.h). `bits` is the declared on-wire size.
@@ -27,13 +50,17 @@ struct Message {
   std::uint8_t kind = 0;
   std::array<std::int64_t, 3> field{0, 0, 0};
   int bits = 0;
+  /// Reliable-transport framing; absent (and free) on ordinary messages.
+  bool has_header = false;
+  TransportHeader hdr;
 };
 
 /// Number of bits needed to represent |v| plus a sign bit; 1 for v == 0.
 [[nodiscard]] int bits_for_value(std::int64_t v) noexcept;
 
 /// Minimum honest wire size for a message: opcode (8 bits) plus the bits of
-/// every nonzero payload word. The network checks `msg.bits >=
+/// every nonzero payload word, plus — for framed messages — the transport
+/// header's words and flags. The network checks `msg.bits >=
 /// min_message_bits(msg)` so algorithms cannot cheat the budget by
 /// under-declaring.
 [[nodiscard]] int min_message_bits(const Message& msg) noexcept;

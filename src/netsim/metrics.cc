@@ -10,6 +10,8 @@ std::string NetMetrics::to_string() const {
      << " total_bits=" << total_bits << " max_msg_bits=" << max_message_bits
      << " max_msgs_in_round=" << max_messages_in_round;
   if (dropped > 0) os << " dropped=" << dropped;
+  if (duplicated > 0) os << " duplicated=" << duplicated;
+  if (crashed > 0) os << " crashed=" << crashed;
   if (arena_peak_messages > 0)
     os << " arena_peak=" << arena_peak_messages
        << " bytes_moved=" << bytes_moved;

@@ -29,8 +29,22 @@ struct NetMetrics {
   /// Largest number of messages sent in any single round.
   std::uint64_t max_messages_in_round = 0;
 
-  /// Messages dropped by fault injection (0 unless enabled).
+  /// Messages dropped by fault injection (0 unless enabled) — the sum over
+  /// every loss hazard (i.i.d., burst, partition).
   std::uint64_t dropped = 0;
+
+  /// Extra copies delivered by fault-injected duplication.
+  std::uint64_t duplicated = 0;
+
+  /// Nodes removed by crash-stop fault injection.
+  std::uint64_t crashed = 0;
+
+  /// Identity of the first message lost to fault injection, recorded so
+  /// failure diagnostics can name it. Valid when `dropped > 0`.
+  std::uint64_t first_drop_round = 0;
+  std::int32_t first_drop_src = -1;
+  std::int32_t first_drop_dst = -1;
+  std::uint8_t first_drop_kind = 0;
 
   /// High-water mark of messages resident in the delivery arena at any
   /// round boundary — the transport's peak buffering requirement.

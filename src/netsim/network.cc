@@ -11,13 +11,18 @@ namespace dflp::net {
 
 namespace {
 
-// Salts separating the engine's derived stream families (see the header's
-// determinism contract). Arbitrary odd constants; changing them changes
-// every seeded execution, so they are frozen.
+// Salt separating the delivery-shuffle stream family (see the header's
+// determinism contract). Arbitrary odd constant; changing it changes every
+// seeded execution, so it is frozen. The fault stream salts live with the
+// FaultPlan (netsim/fault.cc).
 constexpr std::uint64_t kShuffleSalt = 0x5AFEC0DE5AFEC0DFULL;
-constexpr std::uint64_t kFaultSalt = 0xD20BB4B1D20BB4B3ULL;
 
 }  // namespace
+
+void MessageSink::sink_frame(NodeId from, const Message& frame) {
+  DFLP_CHECK_MSG(false, "this transport does not carry reliable-channel "
+                 "frames (node " << from << " -> " << frame.dst << ")");
+}
 
 int congest_bit_budget(std::size_t num_nodes) noexcept {
   return 4 * ceil_log2(static_cast<std::uint64_t>(num_nodes) + 2) + 16;
@@ -33,6 +38,10 @@ void NodeContext::broadcast(std::uint8_t kind,
   sink_->sink_broadcast(self_, neighbors_, kind, fields, bits);
 }
 
+void NodeContext::send_frame(const Message& frame) {
+  sink_->sink_frame(self_, frame);
+}
+
 void NodeContext::halt() noexcept { sink_->sink_halt(self_); }
 
 Network::Network(std::size_t num_nodes, Options options)
@@ -40,12 +49,6 @@ Network::Network(std::size_t num_nodes, Options options)
       processes_(num_nodes),
       halted_(num_nodes, 0) {
   DFLP_CHECK_MSG(num_nodes > 0, "empty network");
-  DFLP_CHECK_MSG(options_.bit_budget >= 8, "budget below opcode size");
-  DFLP_CHECK_MSG(options_.max_msgs_per_edge_per_round >= 1,
-                 "edge allowance must be positive");
-  DFLP_CHECK(options_.drop_probability >= 0.0 &&
-             options_.drop_probability <= 1.0);
-  DFLP_CHECK_MSG(options_.num_threads >= 1, "num_threads must be >= 1");
   live_nodes_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i)
     live_nodes_.push_back(static_cast<NodeId>(i));
@@ -67,6 +70,20 @@ void Network::add_edge(NodeId u, NodeId v) {
 void Network::finalize() {
   DFLP_CHECK_MSG(!finalized_, "finalize called twice");
   const std::size_t n = processes_.size();
+
+  // Validate the options here, with the offending value in the message,
+  // rather than misbehaving silently at run time. The fault plan validates
+  // its own probabilities and crash-event ranges.
+  DFLP_CHECK_MSG(options_.bit_budget >= 8,
+                 "Options::bit_budget must be >= 8 (the opcode alone needs "
+                 "8 bits); got " << options_.bit_budget);
+  DFLP_CHECK_MSG(options_.max_msgs_per_edge_per_round >= 1,
+                 "Options::max_msgs_per_edge_per_round must be >= 1; got "
+                     << options_.max_msgs_per_edge_per_round);
+  DFLP_CHECK_MSG(options_.num_threads >= 1,
+                 "Options::num_threads must be >= 1; got "
+                     << options_.num_threads);
+  fault_plan_ = FaultPlan(options_.faults, options_.seed, n);
 
   std::vector<std::int32_t> degree(n, 0);
   for (auto [u, v] : edge_buffer_) {
@@ -170,9 +187,59 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
   limits.bit_budget = options_.bit_budget;
   limits.max_msgs_per_edge_per_round = options_.max_msgs_per_edge_per_round;
 
-  const bool drops = options_.drop_probability > 0.0;
+  const bool hazards = fault_plan_.message_hazards();
   NetMetrics run_metrics;
+  // Merged even when a round throws (protocol failure under fault
+  // injection): the fault counters must survive into cumulative_ so the
+  // failure diagnostic can name the first lost message.
+  const auto merge_cumulative = [&] {
+    cumulative_.rounds += run_metrics.rounds;
+    cumulative_.messages += run_metrics.messages;
+    cumulative_.total_bits += run_metrics.total_bits;
+    cumulative_.max_message_bits =
+        std::max(cumulative_.max_message_bits, run_metrics.max_message_bits);
+    cumulative_.max_messages_in_round = std::max(
+        cumulative_.max_messages_in_round, run_metrics.max_messages_in_round);
+    if (cumulative_.dropped == 0 && run_metrics.dropped > 0) {
+      cumulative_.first_drop_round = run_metrics.first_drop_round;
+      cumulative_.first_drop_src = run_metrics.first_drop_src;
+      cumulative_.first_drop_dst = run_metrics.first_drop_dst;
+      cumulative_.first_drop_kind = run_metrics.first_drop_kind;
+    }
+    cumulative_.dropped += run_metrics.dropped;
+    cumulative_.duplicated += run_metrics.duplicated;
+    cumulative_.crashed += run_metrics.crashed;
+    cumulative_.bytes_moved += run_metrics.bytes_moved;
+    cumulative_.arena_peak_messages = std::max(
+        cumulative_.arena_peak_messages, run_metrics.arena_peak_messages);
+  };
+  try {
   for (std::uint64_t step = 0; step < max_rounds; ++step) {
+    // Crash-stop faults: remove nodes whose scheduled crash round arrived,
+    // before they step this round. The crashed node's in-flight inbox dies
+    // with it and its neighbours get no signal — that is the point of the
+    // crash-stop model.
+    if (crash_cursor_ < fault_plan_.crash_schedule().size()) {
+      const auto& schedule = fault_plan_.crash_schedule();
+      bool any = false;
+      while (crash_cursor_ < schedule.size() &&
+             schedule[crash_cursor_].round <= round_) {
+        const auto i =
+            static_cast<std::size_t>(schedule[crash_cursor_].node);
+        ++crash_cursor_;
+        if (halted_[i]) continue;  // already halted voluntarily
+        halted_[i] = 1;
+        buffers_[i].clear();
+        ++run_metrics.crashed;
+        any = true;
+      }
+      if (any) {
+        std::erase_if(live_nodes_, [&](NodeId v) {
+          return halted_[static_cast<std::size_t>(v)] != 0;
+        });
+      }
+    }
+
     // Quiescence: everyone halted and nothing resident in the arena. Both
     // counters are maintained by the commit phase, so this is O(1). Every
     // staged send was committed before the previous round ended, so the
@@ -219,20 +286,30 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
       sent_this_round += staged.size();
       if (buffers_[i].halt_requested()) halt_requests_.push_back(sender);
       if (staged.empty()) continue;
-      if (drops) {
-        Rng fault_rng(derive_stream_seed(options_.seed ^ kFaultSalt,
-                                         static_cast<std::uint64_t>(i),
-                                         round_));
+      if (hazards) {
+        FaultPlan::SenderCoins coins =
+            fault_plan_.begin_sender(sender, round_);
         for (const Message& msg : staged) {
-          if (fault_rng.bernoulli(options_.drop_probability)) {
+          const FaultPlan::Fate fate = fault_plan_.fate(coins, msg, round_);
+          if (fate.dropped) {
+            if (run_metrics.dropped == 0 && cumulative_.dropped == 0) {
+              run_metrics.first_drop_round = round_;
+              run_metrics.first_drop_src = msg.src;
+              run_metrics.first_drop_dst = msg.dst;
+              run_metrics.first_drop_kind = msg.kind;
+            }
             ++run_metrics.dropped;
             continue;
           }
-          bits_acc += static_cast<std::uint64_t>(msg.bits);
-          max_bits = std::max(max_bits, msg.bits);
-          const auto dst = static_cast<std::size_t>(msg.dst);
-          if (dst_count_[dst]++ == 0) next_touched_.push_back(msg.dst);
-          survivors_.push_back(msg);
+          const int copies = fate.duplicated ? 2 : 1;
+          if (fate.duplicated) ++run_metrics.duplicated;
+          for (int c = 0; c < copies; ++c) {
+            bits_acc += static_cast<std::uint64_t>(msg.bits);
+            max_bits = std::max(max_bits, msg.bits);
+            const auto dst = static_cast<std::size_t>(msg.dst);
+            if (dst_count_[dst]++ == 0) next_touched_.push_back(msg.dst);
+            survivors_.push_back(msg);
+          }
         }
       } else {
         for (const Message& msg : staged) {
@@ -243,7 +320,8 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
         }
       }
     }
-    const std::uint64_t survivors = drops ? survivors_.size() : sent_this_round;
+    const std::uint64_t survivors =
+        hazards ? survivors_.size() : sent_this_round;
     run_metrics.messages += survivors;
     run_metrics.total_bits += bits_acc;
     run_metrics.max_message_bits = max_bits;
@@ -275,7 +353,7 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
     // staged buffers; rounds with drops read the pre-filtered survivors_
     // scratch so the fault coins are not re-drawn.
     if (survivors > 0) {
-      if (drops) {
+      if (hazards) {
         executor_->for_shards(
             processes_.size(), [&](std::size_t d_lo, std::size_t d_hi) {
               for (const Message& msg : survivors_) {
@@ -325,18 +403,12 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
     run_metrics.rounds += 1;
     round_ += 1;
   }
+  } catch (...) {
+    merge_cumulative();
+    throw;
+  }
 
-  cumulative_.rounds += run_metrics.rounds;
-  cumulative_.messages += run_metrics.messages;
-  cumulative_.total_bits += run_metrics.total_bits;
-  cumulative_.max_message_bits =
-      std::max(cumulative_.max_message_bits, run_metrics.max_message_bits);
-  cumulative_.max_messages_in_round = std::max(
-      cumulative_.max_messages_in_round, run_metrics.max_messages_in_round);
-  cumulative_.dropped += run_metrics.dropped;
-  cumulative_.bytes_moved += run_metrics.bytes_moved;
-  cumulative_.arena_peak_messages = std::max(cumulative_.arena_peak_messages,
-                                             run_metrics.arena_peak_messages);
+  merge_cumulative();
   return run_metrics;
 }
 

@@ -76,10 +76,15 @@
 //
 // Fault injection
 // ---------------
-// `Options::drop_probability` drops each message independently (seeded).
-// The reconstructed algorithms are not fault-tolerant — the paper's model is
-// reliable — but the tests use drops to verify the *simulator's* accounting
-// and the algorithms' failure behaviour is graceful (they still terminate).
+// `Options::faults` configures a seeded, deterministic FaultPlan
+// (netsim/fault.h): i.i.d. and burst (Gilbert–Elliott) message loss,
+// bipartition windows, message duplication, and crash-stop node failures.
+// Message hazards are applied by the commit tally in canonical sender
+// order; crash events remove nodes at the start of their scheduled round.
+// The paper's model is reliable — algorithms that must survive loss opt
+// into the ReliableChannel adapter (netsim/reliable.h), which recovers via
+// acks and retransmissions; without it, tests use faults to verify the
+// simulator's accounting and that the algorithms fail *loudly*.
 #pragma once
 
 #include <cstdint>
@@ -88,6 +93,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "netsim/fault.h"
 #include "netsim/message.h"
 #include "netsim/metrics.h"
 
@@ -115,6 +121,10 @@ class MessageSink {
     for (NodeId nb : neighbors) sink_send(from, nb, kind, fields, bits);
   }
   virtual void sink_halt(NodeId node) = 0;
+  /// Stage a transport-layer frame (a Message with `has_header` set) as
+  /// built by the reliable channel. Only transports that carry framed
+  /// traffic implement it; the default rejects.
+  virtual void sink_frame(NodeId from, const Message& frame);
 };
 
 /// Per-invocation view a process gets of its node. Created fresh by the
@@ -143,6 +153,11 @@ class NodeContext {
   void broadcast(std::uint8_t kind,
                  std::array<std::int64_t, 3> fields = {0, 0, 0},
                  int bits = -1);
+
+  /// Stage a reliable-transport frame to `frame.dst` (must be a
+  /// neighbour). The frame's header is billed into its wire size; the
+  /// per-edge allowance and bit budget apply as for send().
+  void send_frame(const Message& frame);
 
   /// Mark this node as done. A halted node is no longer stepped; delivery
   /// to a halted node is permitted but the inbox is discarded.
@@ -194,8 +209,9 @@ class Network final {
     /// Messages allowed per directed edge per round (CONGEST: 1).
     int max_msgs_per_edge_per_round = 1;
     DeliveryOrder delivery = DeliveryOrder::kBySource;
-    /// Independent drop probability per message (0 = reliable).
-    double drop_probability = 0.0;
+    /// Fault injection plan (default: no faults — the paper's reliable
+    /// model). Validated at finalize().
+    FaultPlan::Options faults;
     /// Seed for node RNG streams, delivery shuffles and fault injection.
     std::uint64_t seed = 1;
     /// Threads for the step phase and the commit scatter (>= 1). Results
@@ -212,7 +228,9 @@ class Network final {
   /// and duplicate edges are rejected.
   void add_edge(NodeId u, NodeId v);
 
-  /// Freezes the topology (builds adjacency), derives per-node RNGs and
+  /// Freezes the topology (builds adjacency), validates the options
+  /// (budget, allowance, threads, fault plan — throwing CheckError with the
+  /// offending value), binds the fault plan, derives per-node RNGs and
   /// allocates the per-node round buffers.
   /// Must be called exactly once, before set_process()/run().
   void finalize();
@@ -312,6 +330,11 @@ class Network final {
   std::vector<std::size_t> dst_cursor_;
   std::vector<NodeId> touched_;
   std::vector<NodeId> next_touched_;
+
+  // Fault injection, bound at finalize(); crash_cursor_ walks the sorted
+  // crash schedule as rounds advance.
+  FaultPlan fault_plan_;
+  std::size_t crash_cursor_ = 0;
 
   // Non-halted nodes in ascending id order; compacted when nodes halt.
   std::vector<NodeId> live_nodes_;

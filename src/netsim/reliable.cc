@@ -1,0 +1,314 @@
+#include "netsim/reliable.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dflp::net {
+
+void ReliableStats::merge(const ReliableStats& other) noexcept {
+  // Rounds describe the whole run (max across nodes); traffic counters sum.
+  logical_rounds = std::max(logical_rounds, other.logical_rounds);
+  physical_rounds = std::max(physical_rounds, other.physical_rounds);
+  items_sent += other.items_sent;
+  retransmissions += other.retransmissions;
+  ack_frames += other.ack_frames;
+  duplicates_discarded += other.duplicates_discarded;
+}
+
+std::string ReliableStats::to_string() const {
+  std::ostringstream os;
+  os << "logical=" << logical_rounds << " physical=" << physical_rounds
+     << " items=" << items_sent << " retx=" << retransmissions
+     << " acks=" << ack_frames << " dups=" << duplicates_discarded;
+  return os.str();
+}
+
+ReliableChannel::ReliableChannel(std::unique_ptr<Process> inner,
+                                 Options options)
+    : inner_(std::move(inner)), options_(options) {
+  DFLP_CHECK_MSG(inner_ != nullptr, "reliable channel needs an inner process");
+  DFLP_CHECK_MSG(options_.inner_bit_budget >= 8,
+                 "inner bit budget " << options_.inner_bit_budget
+                                     << " cannot fit an opcode");
+  DFLP_CHECK_MSG(options_.max_msgs_per_edge_per_round >= 1,
+                 "inner per-edge allowance must be >= 1, got "
+                     << options_.max_msgs_per_edge_per_round);
+  DFLP_CHECK_MSG(options_.rto_initial >= 1,
+                 "rto_initial must be >= 1 round, got " << options_.rto_initial);
+  DFLP_CHECK_MSG(options_.rto_max >= options_.rto_initial,
+                 "rto_max " << options_.rto_max << " < rto_initial "
+                            << options_.rto_initial);
+  DFLP_CHECK_MSG(options_.window >= 1,
+                 "window must be >= 1 item, got " << options_.window);
+  DFLP_CHECK_MSG(options_.linger >= 0,
+                 "linger must be >= 0 rounds, got " << options_.linger);
+  inner_limits_.bit_budget = options_.inner_bit_budget;
+  inner_limits_.max_msgs_per_edge_per_round =
+      options_.max_msgs_per_edge_per_round;
+  inner_limits_.max_kind = kMaxProtocolKind;
+}
+
+void ReliableChannel::bind(NodeContext& ctx) {
+  const auto neighbors = ctx.neighbors();
+  links_.resize(neighbors.size());
+  for (std::size_t i = 0; i < neighbors.size(); ++i)
+    links_[i].peer = neighbors[i];
+  bound_ = true;
+}
+
+namespace {
+
+/// Header wire bits of a framed message (matches min_message_bits).
+int header_bits(const TransportHeader& hdr) {
+  return bits_for_value(hdr.seq) + bits_for_value(hdr.ack) +
+         bits_for_value(hdr.tag) + TransportHeader::kFlagBits;
+}
+
+}  // namespace
+
+void ReliableChannel::on_round(NodeContext& ctx,
+                               std::span<const Message> inbox) {
+  if (!bound_) bind(ctx);
+  ++stats_.physical_rounds;
+  const std::uint64_t now = ctx.round();
+
+  process_inbox(inbox, now);
+  for (Link& link : links_) drain_link(link);
+
+  if (!inner_halted_ && ready_for_logical(next_logical_)) {
+    execute_logical(ctx, next_logical_);
+    ++next_logical_;
+  }
+
+  transmit(ctx, now);
+
+  if (done_state()) {
+    if (inbox.empty()) ++quiet_rounds_; else quiet_rounds_ = 0;
+    if (links_.empty() || quiet_rounds_ > options_.linger) ctx.halt();
+  } else {
+    quiet_rounds_ = 0;
+  }
+}
+
+void ReliableChannel::process_inbox(std::span<const Message> inbox,
+                                    std::uint64_t now) {
+  // Per-frame updates are order-independent (max for acks, set-semantics
+  // inserts, OR for ack_due), so any physical delivery order — including
+  // the shuffled and reversed adversaries — yields the same channel state.
+  for (const Message& frame : inbox) {
+    DFLP_CHECK_MSG(frame.has_header,
+                   "unframed message (kind "
+                       << static_cast<int>(frame.kind) << ") from node "
+                       << frame.src << " reached a reliable channel");
+    const auto it = std::lower_bound(
+        links_.begin(), links_.end(), frame.src,
+        [](const Link& link, NodeId peer) { return link.peer < peer; });
+    DFLP_CHECK_MSG(it != links_.end() && it->peer == frame.src,
+                   "frame from non-neighbour node " << frame.src);
+    Link& link = *it;
+
+    if (frame.hdr.ack > link.acked) {
+      DFLP_CHECK_MSG(frame.hdr.ack <= static_cast<std::int64_t>(
+                                          link.out.size()),
+                     "peer " << link.peer << " acked " << frame.hdr.ack
+                             << " items but only " << link.out.size()
+                             << " were staged");
+      link.acked = frame.hdr.ack;
+      if (link.acked < link.next_tx) {
+        // Progress observed: restart the timer for the new oldest unacked.
+        link.timer_armed = true;
+        link.timer_round = now;
+        link.rto = options_.rto_initial;
+      } else {
+        link.timer_armed = false;
+      }
+    }
+
+    if (frame.hdr.flags & kFrameItem) {
+      link.ack_due = true;
+      const std::int64_t seq = frame.hdr.seq;
+      if (seq < link.cum_recv || link.ooo.count(seq) != 0) {
+        ++stats_.duplicates_discarded;
+      } else {
+        link.ooo.emplace(seq, frame);
+      }
+    }
+  }
+}
+
+void ReliableChannel::drain_link(Link& link) {
+  for (;;) {
+    const auto it = link.ooo.find(link.cum_recv);
+    if (it == link.ooo.end()) break;
+    const Message frame = it->second;
+    link.ooo.erase(it);
+    ++link.cum_recv;
+
+    if (frame.kind <= kMaxProtocolKind) {
+      // Data item: strip the header and restore the inner wire size so the
+      // inner protocol sees exactly the message its peer sent.
+      Message msg = frame;
+      msg.bits = frame.bits - header_bits(frame.hdr);
+      msg.has_header = false;
+      msg.hdr = TransportHeader{};
+      link.in_log.push_back({msg, frame.hdr.tag});
+    }
+    if (frame.hdr.flags & kFrameEor)
+      link.closed_tag = std::max(link.closed_tag, frame.hdr.tag);
+    if (frame.hdr.flags & kFrameFin) link.fin_processed = true;
+  }
+}
+
+bool ReliableChannel::ready_for_logical(std::uint64_t round) const {
+  if (round == 0) return true;  // round 0 delivers an empty inbox
+  const auto need = static_cast<std::int64_t>(round) - 1;
+  for (const Link& link : links_) {
+    // A processed FIN covers every later round: the peer halted and its
+    // items were sequenced, so nothing for `need` can still be in flight.
+    if (!link.fin_processed && link.closed_tag < need) return false;
+  }
+  return true;
+}
+
+void ReliableChannel::execute_logical(NodeContext& ctx, std::uint64_t round) {
+  const auto prev = static_cast<std::int64_t>(round) - 1;
+  inner_inbox_.clear();
+  for (Link& link : links_) {
+    while (!link.in_log.empty() && link.in_log.front().tag == prev) {
+      inner_inbox_.push_back(link.in_log.front().msg);
+      link.in_log.pop_front();
+    }
+  }
+
+  // The inner protocol runs against its own staging buffer with the inner
+  // limits, its own logical round number, and the node's persistent RNG —
+  // the exact stream a fault-free direct run would consume.
+  buffer_.begin(ctx.self(), round, ctx.neighbors(), inner_limits_);
+  NodeContext inner_ctx(buffer_, ctx.self(), round, ctx.neighbors(),
+                        ctx.rng());
+  inner_->on_round(inner_ctx, inner_inbox_);
+  ++stats_.logical_rounds;
+
+  std::vector<std::size_t> out_before(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    out_before[i] = links_[i].out.size();
+
+  for (const Message& msg : buffer_.staged()) {
+    const auto it = std::lower_bound(
+        links_.begin(), links_.end(), msg.dst,
+        [](const Link& link, NodeId peer) { return link.peer < peer; });
+    Message frame = msg;
+    frame.has_header = true;
+    frame.hdr.tag = static_cast<std::int64_t>(round);
+    frame.hdr.flags = kFrameItem;
+    enqueue_item(*it, frame, msg.bits - min_message_bits(msg));
+  }
+
+  const bool halting = buffer_.halt_requested();
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    Link& link = links_[i];
+    if (link.out.size() > out_before[i]) {
+      // The round's last item doubles as its end-of-round marker (and as
+      // the FIN when the inner halted) — no extra frame needed.
+      auto& flags = link.out.back().frame.hdr.flags;
+      flags = static_cast<std::uint8_t>(flags | kFrameEor |
+                                        (halting ? kFrameFin : 0));
+    } else {
+      Message token;
+      token.src = ctx.self();
+      token.dst = link.peer;
+      token.kind = halting ? kFin : kToken;
+      token.has_header = true;
+      token.hdr.tag = static_cast<std::int64_t>(round);
+      token.hdr.flags = static_cast<std::uint8_t>(
+          kFrameItem | kFrameEor | (halting ? kFrameFin : 0));
+      enqueue_item(link, token, 0);
+    }
+  }
+  if (halting) inner_halted_ = true;
+  buffer_.clear();
+}
+
+void ReliableChannel::enqueue_item(Link& link, Message frame, int extra_bits) {
+  frame.hdr.seq = static_cast<std::int64_t>(link.out.size());
+  link.out.push_back({frame, extra_bits});
+}
+
+void ReliableChannel::transmit(NodeContext& ctx, std::uint64_t now) {
+  for (Link& link : links_) {
+    const auto send_item = [&](std::int64_t idx) {
+      const OutItem& item = link.out[static_cast<std::size_t>(idx)];
+      Message frame = item.frame;
+      frame.hdr.ack = link.cum_recv;
+      frame.bits = min_message_bits(frame) + item.extra_bits;
+      ctx.send_frame(frame);
+    };
+
+    bool sent = false;
+    if (link.timer_armed && link.acked < link.next_tx &&
+        now - link.timer_round >= static_cast<std::uint64_t>(link.rto)) {
+      // Timeout: the oldest unacked item blocks the peer's progress.
+      send_item(link.acked);
+      link.rto = std::min(link.rto * 2, options_.rto_max);
+      link.timer_round = now;
+      ++stats_.retransmissions;
+      sent = true;
+    } else if (link.next_tx < static_cast<std::int64_t>(link.out.size()) &&
+               link.next_tx - link.acked < options_.window) {
+      send_item(link.next_tx);
+      if (!link.timer_armed) {
+        link.timer_armed = true;
+        link.timer_round = now;
+        link.rto = options_.rto_initial;
+      }
+      ++link.next_tx;
+      ++stats_.items_sent;
+      sent = true;
+    } else if (link.timer_armed && link.acked < link.next_tx &&
+               now - link.timer_round >=
+                   static_cast<std::uint64_t>(options_.rto_initial)) {
+      // Tail-loss probe: the slot would otherwise idle while the peer's
+      // logical round stalls on the oldest unacked item, so re-send it at
+      // RTT cadence instead of waiting out the backed-off timer. Never
+      // fires on a loss-free link (acks arrive within rto_initial), and
+      // never competes with new items, so the backoff timer still governs
+      // a busy link.
+      send_item(link.acked);
+      ++stats_.retransmissions;
+      sent = true;
+    } else if (link.ack_due) {
+      Message frame;
+      frame.src = ctx.self();
+      frame.dst = link.peer;
+      frame.kind = kAck;
+      frame.has_header = true;
+      frame.hdr.ack = link.cum_recv;
+      ctx.send_frame(frame);
+      ++stats_.ack_frames;
+      sent = true;
+    }
+    if (sent) link.ack_due = false;  // every frame carries the current ack
+  }
+}
+
+bool ReliableChannel::done_state() const {
+  if (!inner_halted_) return false;
+  for (const Link& link : links_) {
+    if (link.acked < static_cast<std::int64_t>(link.out.size())) return false;
+    if (!link.fin_processed) return false;
+  }
+  return true;
+}
+
+int reliable_bit_budget(int inner_budget, std::uint64_t max_logical_rounds) {
+  // One item per link per logical round plus a FIN; 16 rounds of slack
+  // absorbs the off-by-few cases. seq, ack and tag are each bounded by the
+  // item count.
+  const int per_word = bits_for_value(
+      static_cast<std::int64_t>(max_logical_rounds + 16));
+  return inner_budget + 3 * per_word + TransportHeader::kFlagBits;
+}
+
+}  // namespace dflp::net

@@ -94,6 +94,32 @@ void RoundBuffer::sink_broadcast(NodeId from, std::span<const NodeId>,
   }
 }
 
+void RoundBuffer::sink_frame(NodeId from, const Message& frame) {
+  DFLP_CHECK_MSG(from == owner_ && frame.src == owner_,
+                 "frame from node " << frame.src
+                                    << " staged into the buffer of node "
+                                    << owner_);
+  const NodeId to = frame.dst;
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
+  DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
+                 "node " << from << " is not adjacent to " << to);
+
+  Message msg = frame;
+  const int honest = min_message_bits(msg);
+  if (msg.bits < honest) msg.bits = honest;
+  DFLP_CHECK_MSG(msg.bits <= limits_.bit_budget,
+                 "frame of " << msg.bits << " bits exceeds CONGEST budget "
+                             << limits_.bit_budget << " (kind="
+                             << static_cast<int>(msg.kind) << ")");
+
+  const auto idx = static_cast<std::size_t>(it - neighbors_.begin());
+  DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
+                 "edge allowance exceeded on " << from << "->" << to
+                                               << " in round " << round_);
+  ++edge_sends_[idx];
+  staged_.push_back(msg);
+}
+
 void RoundBuffer::sink_halt(NodeId node) {
   DFLP_CHECK_MSG(node == owner_,
                  "halt for node " << node << " staged into the buffer of node "

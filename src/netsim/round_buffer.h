@@ -58,6 +58,11 @@ class RoundBuffer final : public MessageSink {
   void sink_broadcast(NodeId from, std::span<const NodeId> neighbors,
                       std::uint8_t kind, std::array<std::int64_t, 3> fields,
                       int bits) override;
+  /// Transport-layer frame path used by the reliable channel: the frame
+  /// arrives fully formed (header already attached) and is exempt from the
+  /// `max_kind` protocol-opcode cap, but still pays adjacency, honest-bit,
+  /// budget, and per-edge allowance checks.
+  void sink_frame(NodeId from, const Message& frame) override;
   void sink_halt(NodeId node) override;
 
   /// Messages staged this step, in send-call order, with resolved bit

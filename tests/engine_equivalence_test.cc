@@ -2,10 +2,13 @@
 //
 // The engine's contract (netsim/network.h) is that Options::num_threads is
 // purely an execution knob: for every seed, delivery order, thread count
-// and drop probability the simulation is bit-identical to the serial run —
-// same solutions, same NetMetrics, and (when a protocol fails loudly under
-// message drops) the same CheckError text. These tests pin that contract
-// for the three top-level distributed entry points.
+// and fault plan — i.i.d. drops, burst loss, crash schedules, duplication,
+// with or without the ReliableChannel recovery layer — the simulation is
+// bit-identical to the serial run: same solutions, same NetMetrics, and
+// (when a protocol fails loudly under faults) the same CheckError text.
+// These tests pin that contract for the three top-level distributed entry
+// points.
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <tuple>
@@ -54,9 +57,17 @@ std::string outcome_trace(Body&& body) {
   }
 }
 
+/// Fault/transport configuration of one sweep case.
+enum class FaultMode {
+  kFaultFree,   ///< no faults (legacy suffix "_Reliable")
+  kDrops,       ///< i.i.d. drops, no recovery: fails loudly, identically
+  kBurstCrash,  ///< burst loss + crash schedule, no recovery: deterministic
+  kRecovered,   ///< drops + duplication under the ReliableChannel
+};
+
 struct SweepCase {
   net::DeliveryOrder delivery;
-  double drop_probability;
+  FaultMode mode;
 };
 
 std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
@@ -66,8 +77,46 @@ std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
     case net::DeliveryOrder::kRandomShuffle: name = "RandomShuffle"; break;
     case net::DeliveryOrder::kReverseSource: name = "ReverseSource"; break;
   }
-  name += info.param.drop_probability > 0.0 ? "_Drops" : "_Reliable";
+  switch (info.param.mode) {
+    case FaultMode::kFaultFree: name += "_Reliable"; break;
+    case FaultMode::kDrops: name += "_Drops"; break;
+    case FaultMode::kBurstCrash: name += "_BurstCrash"; break;
+    case FaultMode::kRecovered: name += "_Recovered"; break;
+  }
   return name;
+}
+
+/// Maps a sweep case onto MwParams. The kDrops stream must keep producing
+/// the committed drop diagnostic, so its knob stays exactly the legacy
+/// drop_probability = 0.15.
+core::MwParams sweep_params(const SweepCase& c, int k, std::uint64_t seed) {
+  core::MwParams params;
+  params.k = k;
+  params.seed = seed;
+  params.delivery = c.delivery;
+  switch (c.mode) {
+    case FaultMode::kFaultFree:
+      break;
+    case FaultMode::kDrops:
+      params.faults.drop_probability = 0.15;
+      break;
+    case FaultMode::kBurstCrash:
+      params.faults.burst.p_good_to_bad = 0.05;
+      params.faults.burst.p_bad_to_good = 0.5;
+      params.faults.crashes = {{0, 6}, {3, 9}};
+      params.faults.random_crash_fraction = 0.05;
+      params.faults.random_crash_round = 4;
+      params.faults.random_crash_round_span = 8;
+      params.faults.fault_seed = 23;
+      break;
+    case FaultMode::kRecovered:
+      params.reliable = true;
+      params.faults.drop_probability = 0.15;
+      params.faults.duplicate_probability = 0.05;
+      params.faults.fault_seed = 23;
+      break;
+  }
+  return params;
 }
 
 class EngineEquivalenceTest : public testing::TestWithParam<SweepCase> {};
@@ -87,21 +136,45 @@ constexpr char kMwGreedyGoldenDropDiagnostic[] =
 TEST_P(EngineEquivalenceTest, MwGreedyMatchesCommittedGolden) {
   const fl::Instance inst =
       workload::make_family_instance(workload::Family::kUniform, 60, 7);
-  const std::string trace = outcome_trace([&] {
-    core::MwParams params;
-    params.k = 4;
-    params.seed = 11;
-    params.delivery = GetParam().delivery;
-    params.drop_probability = GetParam().drop_probability;
-    params.num_threads = 1;
-    return metrics_fingerprint(core::run_mw_greedy(inst, params).metrics);
-  });
-  if (GetParam().drop_probability > 0.0) {
-    EXPECT_NE(trace.find("CheckError"), std::string::npos) << trace;
-    EXPECT_NE(trace.find(kMwGreedyGoldenDropDiagnostic), std::string::npos)
-        << trace;
-  } else {
-    EXPECT_EQ(trace, kMwGreedyGoldenMetrics);
+  const auto run_trace = [&] {
+    return outcome_trace([&] {
+      core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/11);
+      params.num_threads = 1;
+      const core::MwGreedyOutcome out = core::run_mw_greedy(inst, params);
+      return solution_fingerprint(inst, out.solution) + " | " +
+             metrics_fingerprint(out.metrics);
+    });
+  };
+  const std::string trace = run_trace();
+  switch (GetParam().mode) {
+    case FaultMode::kFaultFree:
+      EXPECT_NE(trace.find(kMwGreedyGoldenMetrics), std::string::npos)
+          << trace;
+      break;
+    case FaultMode::kDrops:
+      EXPECT_NE(trace.find("CheckError"), std::string::npos) << trace;
+      EXPECT_NE(trace.find(kMwGreedyGoldenDropDiagnostic), std::string::npos)
+          << trace;
+      break;
+    case FaultMode::kBurstCrash:
+      // No committed golden: the protocol has no failure detector, so the
+      // only contract is bit-identical behaviour — pin trace stability.
+      EXPECT_EQ(trace, run_trace());
+      break;
+    case FaultMode::kRecovered: {
+      // The recovery layer must reproduce the fault-free solution exactly.
+      core::MwParams clean;
+      clean.k = 4;
+      clean.seed = 11;
+      clean.delivery = GetParam().delivery;
+      const core::MwGreedyOutcome baseline =
+          core::run_mw_greedy(inst, clean);
+      EXPECT_NE(trace.find(solution_fingerprint(inst, baseline.solution)),
+                std::string::npos)
+          << trace;
+      EXPECT_EQ(trace.find("CheckError"), std::string::npos) << trace;
+      break;
+    }
   }
 }
 
@@ -111,11 +184,7 @@ TEST_P(EngineEquivalenceTest, MwGreedyBitIdenticalAcrossThreadCounts) {
   std::string baseline;
   for (int threads : kThreadCounts) {
     const std::string trace = outcome_trace([&] {
-      core::MwParams params;
-      params.k = 4;
-      params.seed = 11;
-      params.delivery = GetParam().delivery;
-      params.drop_probability = GetParam().drop_probability;
+      core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/11);
       params.num_threads = threads;
       const core::MwGreedyOutcome out = core::run_mw_greedy(inst, params);
       return solution_fingerprint(inst, out.solution) + " | " +
@@ -135,11 +204,7 @@ TEST_P(EngineEquivalenceTest, PipelineBitIdenticalAcrossThreadCounts) {
   std::string baseline;
   for (int threads : kThreadCounts) {
     const std::string trace = outcome_trace([&] {
-      core::MwParams params;
-      params.k = 4;
-      params.seed = 5;
-      params.delivery = GetParam().delivery;
-      params.drop_probability = GetParam().drop_probability;
+      core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/5);
       params.num_threads = threads;
       const core::PipelineOutcome out = core::run_pipeline(inst, params);
       std::ostringstream os;
@@ -158,9 +223,9 @@ TEST_P(EngineEquivalenceTest, PipelineBitIdenticalAcrossThreadCounts) {
 }
 
 TEST_P(EngineEquivalenceTest, DiscoverBoundsBitIdenticalAcrossThreadCounts) {
-  // discover_bounds runs on a reliable network (no drop knob); the sweep
-  // still exercises it under every delivery order and thread count.
-  if (GetParam().drop_probability > 0.0) GTEST_SKIP();
+  // discover_bounds runs on a fault-free network (no fault params); the
+  // sweep still exercises it under every delivery order and thread count.
+  if (GetParam().mode != FaultMode::kFaultFree) GTEST_SKIP();
   const fl::Instance inst =
       workload::make_family_instance(workload::Family::kGreedyTight, 40, 2);
   std::string baseline;
@@ -188,12 +253,18 @@ TEST_P(EngineEquivalenceTest, DiscoverBoundsBitIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(
     AllDeliveryAndFaultModes, EngineEquivalenceTest,
     testing::Values(
-        SweepCase{net::DeliveryOrder::kBySource, 0.0},
-        SweepCase{net::DeliveryOrder::kRandomShuffle, 0.0},
-        SweepCase{net::DeliveryOrder::kReverseSource, 0.0},
-        SweepCase{net::DeliveryOrder::kBySource, 0.15},
-        SweepCase{net::DeliveryOrder::kRandomShuffle, 0.15},
-        SweepCase{net::DeliveryOrder::kReverseSource, 0.15}),
+        SweepCase{net::DeliveryOrder::kBySource, FaultMode::kFaultFree},
+        SweepCase{net::DeliveryOrder::kRandomShuffle, FaultMode::kFaultFree},
+        SweepCase{net::DeliveryOrder::kReverseSource, FaultMode::kFaultFree},
+        SweepCase{net::DeliveryOrder::kBySource, FaultMode::kDrops},
+        SweepCase{net::DeliveryOrder::kRandomShuffle, FaultMode::kDrops},
+        SweepCase{net::DeliveryOrder::kReverseSource, FaultMode::kDrops},
+        SweepCase{net::DeliveryOrder::kBySource, FaultMode::kBurstCrash},
+        SweepCase{net::DeliveryOrder::kRandomShuffle, FaultMode::kBurstCrash},
+        SweepCase{net::DeliveryOrder::kReverseSource, FaultMode::kBurstCrash},
+        SweepCase{net::DeliveryOrder::kBySource, FaultMode::kRecovered},
+        SweepCase{net::DeliveryOrder::kRandomShuffle, FaultMode::kRecovered},
+        SweepCase{net::DeliveryOrder::kReverseSource, FaultMode::kRecovered}),
     case_name);
 
 }  // namespace

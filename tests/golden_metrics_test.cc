@@ -86,9 +86,9 @@ TEST(GoldenMetrics, MwGreedyUnderDropsFailsWithCommittedDiagnostic) {
   // part of the golden.
   const fl::Instance inst = golden_instance();
   core::MwParams params = golden_params();
-  params.drop_probability = 0.15;
+  params.faults.drop_probability = 0.15;
   try {
-    core::run_mw_greedy(inst, params);
+    (void)core::run_mw_greedy(inst, params);
     FAIL() << "expected CheckError under drops";
   } catch (const CheckError& e) {
     EXPECT_NE(std::string(e.what())

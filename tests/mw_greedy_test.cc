@@ -181,7 +181,7 @@ TEST(MwGreedy, FaultInjectionFailsLoudlyNotSilently) {
   const fl::Instance inst =
       workload::make_family_instance(workload::Family::kUniform, 40, 7);
   MwParams p = params_k(4, 7);
-  p.drop_probability = 0.5;
+  p.faults.drop_probability = 0.5;
   // With heavy loss the mop-up grant can vanish; the protocol must either
   // still produce a feasible solution (lucky drops) or throw a CheckError —
   // never return an infeasible solution as if it were fine.

@@ -315,7 +315,7 @@ TEST(Network, PerNodeRngIsDeterministicAcrossRuns) {
 
 TEST(Network, DropProbabilityOneDropsEverything) {
   auto o = opts();
-  o.drop_probability = 1.0;
+  o.faults.drop_probability = 1.0;
   Network net(2, o);
   net.add_edge(0, 1);
   net.finalize();
@@ -417,7 +417,7 @@ TEST(Network, SplitRunBitIdenticalToSingleRun) {
     o.bit_budget = 64;
     o.seed = 42;
     o.delivery = DeliveryOrder::kRandomShuffle;
-    o.drop_probability = 0.25;
+    o.faults.drop_probability = 0.25;
     constexpr NodeId kN = 6;
     Network net(kN, o);
     for (NodeId v = 0; v < kN; ++v) net.add_edge(v, (v + 1) % kN);

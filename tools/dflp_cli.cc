@@ -10,9 +10,18 @@
 // with an N-thread step phase; results are bit-identical to --threads 1,
 // only the wall time changes.
 //
+// Fault-injection flags (also position-independent): `--drop X` for i.i.d.
+// message loss, `--crash-frac X` for boot-crashed facilities,
+// `--burst-len N` for Gilbert–Elliott burst loss of mean length N,
+// `--fault-seed S` to reseed the fault schedule, and `--reliable` to run
+// the recovery transport. With faults active, `solve` also reports round
+// dilation against the fault-free baseline.
+//
 // `-` reads the instance from stdin. Families: uniform, euclidean,
 // powerlaw, greedy-tight, star. Algorithms: any name printed by
 // `dflp_cli solve help`.
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,6 +43,12 @@ using namespace dflp;
 
 /// Simulator threads requested via --threads (default 1 = serial).
 int g_threads = 1;
+/// Fault-injection / recovery flags (position-independent, like --threads).
+double g_drop = 0.0;        ///< --drop X: i.i.d. message loss probability
+double g_crash_frac = 0.0;  ///< --crash-frac X: boot-crashed facility frac
+int g_burst_len = 0;        ///< --burst-len N: mean burst length in rounds
+std::uint64_t g_fault_seed = 0;  ///< --fault-seed S
+bool g_reliable = false;         ///< --reliable: wrap in ReliableChannel
 
 int usage() {
   std::cerr
@@ -43,13 +58,38 @@ int usage() {
          "  dflp_cli solve  <algo> <instance.ufl|-> [k=4] [seed=1]\n"
          "  dflp_cli sweep  <instance.ufl|-> [seed=1]\n"
          "  dflp_cli bounds <instance.ufl|->\n"
-         "options: --threads N   (simulator step-phase threads; results are\n"
-         "                        bit-identical for every N)\n"
+         "options: --threads N    (simulator step-phase threads; results are\n"
+         "                         bit-identical for every N)\n"
+         "         --drop X       (i.i.d. per-message drop probability)\n"
+         "         --crash-frac X (fraction of facilities crashed at boot)\n"
+         "         --burst-len N  (Gilbert-Elliott bursts, mean N rounds)\n"
+         "         --fault-seed S (seed of the fault schedule streams)\n"
+         "         --reliable     (reliable-transport recovery layer)\n"
          "families: uniform euclidean powerlaw greedy-tight star\n"
          "algorithms: mw-greedy mw-pipeline ideal-greedy seq-greedy\n"
          "            jain-vazirani mettu-plaxton jms-greedy local-search\n"
          "            open-all nearest-facility\n";
   return 2;
+}
+
+/// True when any fault/recovery flag changes run semantics.
+bool fault_flags_active() {
+  return g_drop > 0.0 || g_crash_frac > 0.0 || g_burst_len > 0 || g_reliable;
+}
+
+/// Maps the global fault flags onto distributed-run params.
+void apply_fault_flags(core::MwParams& params) {
+  params.faults.drop_probability = g_drop;
+  params.boot_crash_fraction = g_crash_frac;
+  if (g_burst_len > 0) {
+    // A burst of mean length N rounds: links leave the bad state with
+    // probability 1/N per round; entry probability is kept small so losses
+    // cluster instead of approximating i.i.d. loss.
+    params.faults.burst.p_good_to_bad = 0.05;
+    params.faults.burst.p_bad_to_good = 1.0 / g_burst_len;
+  }
+  params.faults.fault_seed = g_fault_seed;
+  params.reliable = g_reliable;
 }
 
 fl::Instance load_instance(const std::string& path) {
@@ -141,11 +181,26 @@ int cmd_solve(int argc, char** argv) {
   params.seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5]))
                          : 1;
   params.num_threads = g_threads;
+  apply_fault_flags(params);
   for (const auto& [name, algo] : algo_registry()) {
     if (name == algo_name) {
       const harness::LowerBound lb = harness::compute_lower_bound(inst);
-      const harness::RunResult r =
-          harness::run_algorithm(algo, inst, params, lb);
+      harness::RunResult r = harness::run_algorithm(algo, inst, params, lb);
+      const bool distributed =
+          algo == harness::Algo::kMwGreedy || algo == harness::Algo::kPipeline;
+      if (distributed && fault_flags_active()) {
+        // Round dilation against the fault-free baseline sharing the same
+        // transport mode and boot-crash pruning (fault_seed preserved).
+        core::MwParams clean = params;
+        clean.faults = net::FaultPlan::Options{};
+        clean.faults.fault_seed = params.faults.fault_seed;
+        const harness::RunResult base =
+            harness::run_algorithm(algo, inst, clean, lb);
+        if (base.rounds > 0) {
+          r.round_dilation = static_cast<double>(r.rounds) /
+                             static_cast<double>(base.rounds);
+        }
+      }
       harness::print_section(name + " on " + inst.describe(),
                              "lower bound (" + lb.kind + ") = " +
                                  format_double(lb.value, 2),
@@ -169,6 +224,7 @@ int cmd_sweep(int argc, char** argv) {
     params.k = k;
     params.seed = seed;
     params.num_threads = g_threads;
+    apply_fault_flags(params);
     const harness::RunResult r = harness::run_algorithm(
         harness::Algo::kMwGreedy, inst, params, lb);
     table.row().cell(k).cell(r.cost, 2).cell(r.ratio, 3).cell(r.rounds).cell(
@@ -184,17 +240,63 @@ int cmd_sweep(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip `--threads N` (position-independent) before positional parsing.
+  // Strip position-independent option flags before positional parsing.
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--threads") {
-      if (i + 1 >= argc) return usage();
-      g_threads = std::atoi(argv[++i]);
+    const std::string arg = argv[i];
+    const auto take_value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_threads = std::atoi(v);
       if (g_threads < 1) {
         std::cerr << "--threads must be >= 1\n";
         return 2;
       }
+      continue;
+    }
+    if (arg == "--drop") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_drop = std::atof(v);
+      if (g_drop < 0.0 || g_drop > 1.0) {
+        std::cerr << "--drop must be in [0, 1]\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--crash-frac") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_crash_frac = std::atof(v);
+      if (g_crash_frac < 0.0 || g_crash_frac > 1.0) {
+        std::cerr << "--crash-frac must be in [0, 1]\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--burst-len") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_burst_len = std::atoi(v);
+      if (g_burst_len < 1) {
+        std::cerr << "--burst-len must be >= 1\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--fault-seed") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_fault_seed = static_cast<std::uint64_t>(std::atoll(v));
+      continue;
+    }
+    if (arg == "--reliable") {
+      g_reliable = true;
       continue;
     }
     args.push_back(argv[i]);
