@@ -64,6 +64,7 @@ class FacilityProc final : public net::Process {
         if (msg.kind == kOpenReq) requested = true;
       }
       if (requested && raises_ < shared_->sched.y_scale) {
+        ctx.annotate("mopup-raise");
         raises_ = shared_->sched.y_scale;  // y = 1
         ctx.broadcast(kYUpdate, {raises_, 0, 0});
       }
@@ -111,6 +112,7 @@ class FacilityProc final : public net::Process {
     const double threshold =
         shared_->sched.thresholds[static_cast<std::size_t>(level)];
     if (!(best_star_ratio() <= threshold)) return;
+    ctx.annotate("raise");
     ++raises_;
     ctx.broadcast(kYUpdate, {raises_, 0, 0});
   }
@@ -179,6 +181,7 @@ class ClientProc final : public net::Process {
     }
     if (r == base) {
       if (!covered_) {
+        ctx.annotate("mopup-request");
         ctx.send(edges_.front().peer, kOpenReq);  // cheapest facility
         by_mopup_ = true;
       } else {
@@ -200,6 +203,7 @@ class ClientProc final : public net::Process {
     for (std::size_t t = 0; t < edges_.size(); ++t)
       mass += y_of_raises(shared_->sched, known_raises_[t]);
     if (mass >= 1.0 - 1e-12) {
+      ctx.annotate("covered");
       covered_ = true;
       ctx.broadcast(kCovered);
     }
@@ -231,6 +235,7 @@ FracOutcome run_frac_lp(const fl::Instance& inst, const MwParams& params) {
   options.num_threads = params.num_threads;
   options.delivery = params.delivery;
   apply_transport_options(options, params, logical_bound);
+  if (params.tracer != nullptr) params.tracer->set_section("frac-lp");
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {

@@ -69,12 +69,15 @@ class FacilityProc final : public net::Process {
     // Mop-up window. Round base+1: serve OPEN_REQs, then halt.
     const std::uint64_t base = shared_->scheduled_rounds;
     if (!shared_->params.mopup || r >= base + 1) {
+      bool served = false;
       for (const net::Message& msg : inbox) {
         if (msg.kind == kOpenReq) {
           open_ = true;
           ctx.send(msg.src, kGrant);
+          served = true;
         }
       }
+      if (served) ctx.annotate("mopup-grant");
       ctx.halt();
     }
     // Round base+0: just absorbed trailing COVERED notices; stay for the
@@ -135,6 +138,7 @@ class FacilityProc final : public net::Process {
     if (star == 0 || !(ratio <= threshold)) return;
 
     // Offer the star prefix to its uncovered clients.
+    ctx.annotate("offer");
     offered_star_ = star;
     int sent = 0;
     for (std::size_t t = 0; t < edges_.size() && sent < star; ++t) {
@@ -161,6 +165,7 @@ class FacilityProc final : public net::Process {
     }
     if (static_cast<int>(accepters.size()) < needed) return;
 
+    ctx.annotate("open");
     open_ = true;
     for (net::NodeId c : accepters) ctx.send(c, kGrant);
   }
@@ -211,6 +216,7 @@ class ClientProc final : public net::Process {
     if (r == base) {
       if (!covered_) {
         // edges_ is cost-sorted: front is the cheapest facility.
+        ctx.annotate("mopup-request");
         pending_ = edges_.front().peer;
         ctx.send(pending_, kOpenReq);
         by_mopup_ = true;
@@ -248,6 +254,7 @@ class ClientProc final : public net::Process {
     // (edges_ order encodes exactly that preference).
     for (const LocalEdge& e : edges_) {
       if (std::binary_search(offers.begin(), offers.end(), e.peer)) {
+        ctx.annotate("accept");
         pending_ = e.peer;
         ctx.send(e.peer, kAccept);
         return;
@@ -260,6 +267,7 @@ class ClientProc final : public net::Process {
     if (covered_ || pending_ == net::kNoNode) return;
     for (const net::Message& msg : inbox) {
       if (msg.kind == kGrant && msg.src == pending_) {
+        ctx.annotate("connect");
         covered_ = true;
         assigned_ = msg.src;
         ctx.broadcast(kCovered);
@@ -297,6 +305,7 @@ MwGreedyOutcome run_mw_greedy(const fl::Instance& inst,
   options.num_threads = params.num_threads;
   options.delivery = params.delivery;
   apply_transport_options(options, params, logical_bound);
+  if (params.tracer != nullptr) params.tracer->set_section("mw-greedy");
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {

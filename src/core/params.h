@@ -22,6 +22,7 @@
 #include "core/quantize.h"
 #include "fl/instance.h"
 #include "netsim/network.h"
+#include "netsim/trace.h"
 
 namespace dflp::core {
 
@@ -70,6 +71,18 @@ struct MwParams {
   /// reconstructed protocols are order-independent; tests sweep this to
   /// prove it.
   net::DeliveryOrder delivery = net::DeliveryOrder::kBySource;
+  /// Round tracer (netsim/trace.h), not owned; attached to every network
+  /// the runner builds. Purely observational — a traced run is
+  /// bit-identical to an untraced one. Library callers set this directly
+  /// for in-memory traces; harness::run_algorithm owns a Tracer itself
+  /// when `trace_path` asks for a file.
+  net::Tracer* tracer = nullptr;
+  /// Harness-level export: when non-empty, run_algorithm writes the trace
+  /// here in `trace_format`, capturing per-node phase annotations when
+  /// `trace_phases` is set (see docs/trace-schema.md).
+  std::string trace_path;
+  net::TraceFormat trace_format = net::TraceFormat::kJsonl;
+  bool trace_phases = false;
 };
 
 /// The deterministic schedule every node runs against.

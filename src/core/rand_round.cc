@@ -35,6 +35,7 @@ class FacilityProc final : public net::Process {
       if (r % 2 == 0 && !open_) {
         const double p = std::min(1.0, y_ * shared_->boost);
         if (p > 0.0 && ctx.rng().bernoulli(p)) {
+          ctx.annotate("flip-open");
           open_ = true;
           ctx.broadcast(kOpen);
         }
@@ -43,12 +44,15 @@ class FacilityProc final : public net::Process {
     }
     const std::uint64_t base = shared_->scheduled_rounds;
     if (r >= base + 1) {
+      bool served = false;
       for (const net::Message& msg : inbox) {
         if (msg.kind == kOpenReq) {
           open_ = true;
           ctx.send(msg.src, kGrant);
+          served = true;
         }
       }
+      if (served) ctx.annotate("fallback-grant");
       ctx.halt();
     }
   }
@@ -93,13 +97,13 @@ class ClientProc final : public net::Process {
     }
 
     if (r < shared_->scheduled_rounds) {
-      if (r % 2 == 1 && !covered_) try_connect();
+      if (r % 2 == 1 && !covered_) try_connect(ctx);
       return;
     }
 
     const std::uint64_t base = shared_->scheduled_rounds;
     if (r == base) {
-      if (!covered_) try_connect();  // late announcements from phase P-1
+      if (!covered_) try_connect(ctx);  // late announcements from phase P-1
       if (covered_) {
         ctx.halt();
         return;
@@ -115,6 +119,7 @@ class ClientProc final : public net::Process {
         }
       }
       if (pending_ == net::kNoNode) pending_ = edges_.front().peer;
+      ctx.annotate("fallback");
       ctx.send(pending_, kOpenReq);
       fallback_ = true;
       return;
@@ -132,9 +137,10 @@ class ClientProc final : public net::Process {
   }
 
  private:
-  void try_connect() {
+  void try_connect(net::NodeContext& ctx) {
     for (std::size_t t = 0; t < edges_.size(); ++t) {  // cost order
       if (open_known_[t]) {
+        ctx.annotate("connect");
         covered_ = true;
         assigned_ = edges_[t].peer;
         return;
@@ -178,6 +184,7 @@ RoundOutcome run_rand_round(const fl::Instance& inst,
   options.num_threads = params.num_threads;
   options.delivery = params.delivery;
   apply_transport_options(options, params, logical_bound);
+  if (params.tracer != nullptr) params.tracer->set_section("rand-round");
   net::Network net = make_bipartite_network(inst, options);
 
   for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i) {

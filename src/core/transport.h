@@ -31,6 +31,7 @@ inline void apply_transport_options(net::Network::Options& options,
                                     const MwParams& params,
                                     std::uint64_t max_logical_rounds) {
   options.faults = params.faults;
+  options.tracer = params.tracer;
   if (params.reliable) {
     options.bit_budget =
         net::reliable_bit_budget(options.bit_budget, max_logical_rounds);

@@ -69,8 +69,18 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
                         const core::MwParams& params, const LowerBound& lb) {
   RunResult result;
   result.algo = algo_name(algo);
-  if (algo == Algo::kMwGreedy || algo == Algo::kPipeline)
-    result.threads = params.num_threads;
+  const bool distributed = algo == Algo::kMwGreedy || algo == Algo::kPipeline;
+  if (distributed) result.threads = params.num_threads;
+
+  // File-level tracing: the harness owns the Tracer, hands the runners a
+  // pointer via a params copy, and exports after the run. Callers that want
+  // the trace in memory set `params.tracer` themselves and skip trace_path.
+  core::MwParams traced_params = params;
+  net::Tracer tracer(params.trace_phases);
+  if (distributed && !params.trace_path.empty() && params.tracer == nullptr)
+    traced_params.tracer = &tracer;
+  const core::MwParams& run_params = traced_params;
+
   const auto start = std::chrono::steady_clock::now();
 
   fl::IntegralSolution sol;
@@ -78,7 +88,7 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
     case Algo::kMwGreedy: {
       // Routed through the fault harness so boot crashes are honoured;
       // identical to run_mw_greedy when boot_crash_fraction is 0.
-      core::MwGreedyOutcome out = run_mw_greedy_with_faults(inst, params);
+      core::MwGreedyOutcome out = run_mw_greedy_with_faults(inst, run_params);
       sol = std::move(out.solution);
       result.rounds = out.metrics.rounds;
       result.messages = out.metrics.messages;
@@ -91,7 +101,7 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
       break;
     }
     case Algo::kPipeline: {
-      core::PipelineOutcome out = core::run_pipeline(inst, params);
+      core::PipelineOutcome out = core::run_pipeline(inst, run_params);
       sol = std::move(out.solution);
       result.rounds = out.total_rounds();
       result.messages = out.total_messages();
@@ -140,6 +150,10 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
   const auto stop = std::chrono::steady_clock::now();
   result.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
+  if (run_params.tracer == &tracer) {
+    tracer.write_file(params.trace_path, params.trace_format);
+    result.trace_path = params.trace_path;
+  }
   result.feasible = sol.is_feasible(inst);
   DFLP_CHECK_MSG(result.feasible,
                  result.algo << " produced an infeasible solution");

@@ -1,11 +1,15 @@
 #include "netsim/network.h"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
 
 #include "common/check.h"
 #include "common/mathx.h"
 #include "netsim/executor.h"
 #include "netsim/round_buffer.h"
+#include "netsim/trace.h"
 
 namespace dflp::net {
 
@@ -187,6 +191,31 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
   limits.bit_budget = options_.bit_budget;
   limits.max_msgs_per_edge_per_round = options_.max_msgs_per_edge_per_round;
 
+  // Tracing is a pure observation layer: when no tracer is attached the
+  // only cost is the `if (tracer)` test per round, and with one attached
+  // the execution (messages, metrics, RNG streams) is still bit-identical —
+  // the tracer only reads clocks and copies counters the engine computes
+  // anyway. See netsim/trace.h for the full cost contract.
+  Tracer* const tracer = options_.tracer;
+  limits.capture_annotations = tracer != nullptr && tracer->capture_phases();
+  if (tracer) {
+    TraceSection info;
+    info.nodes = processes_.size();
+    info.edges = num_edges_;
+    info.threads = options_.num_threads;
+    info.seed = options_.seed;
+    info.bit_budget = options_.bit_budget;
+    tracer->begin_run(info);
+  }
+  using TraceClock = std::chrono::steady_clock;
+  const auto seconds_between = [](TraceClock::time_point a,
+                                  TraceClock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  std::vector<TraceShard> shard_times;
+  std::mutex shard_mu;
+  std::map<std::string_view, std::uint64_t> phase_counts;
+
   const bool hazards = fault_plan_.message_hazards();
   NetMetrics run_metrics;
   // Merged even when a round throws (protocol failure under fault
@@ -215,6 +244,16 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
   };
   try {
   for (std::uint64_t step = 0; step < max_rounds; ++step) {
+    // Per-round trace state. The `before` counters turn run_metrics'
+    // cumulative fault totals into round-local deltas for the record.
+    std::uint64_t crashed_before = 0, dropped_before = 0, dup_before = 0;
+    TraceClock::time_point t_step0{}, t_step1{}, t_commit1{}, t_scatter1{};
+    if (tracer) {
+      crashed_before = run_metrics.crashed;
+      dropped_before = run_metrics.dropped;
+      dup_before = run_metrics.duplicated;
+    }
+
     // Crash-stop faults: remove nodes whose scheduled crash round arrived,
     // before they step this round. The crashed node's in-flight inbox dies
     // with it and its neighbours get no signal — that is the point of the
@@ -246,22 +285,41 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
     // arena is the complete in-flight state (resume relies on this).
     if (live_nodes_.empty() && inflight_messages_ == 0) break;
 
+    const std::size_t live_count = live_nodes_.size();
+
     // Step phase: every live node runs against its private buffer. Shards
     // only touch per-node state (arena slice, buffer, rng), so any
     // interleaving produces the same buffers.
-    executor_->for_shards(
-        live_nodes_.size(), [&](std::size_t begin, std::size_t end) {
-          for (std::size_t k = begin; k < end; ++k) {
-            const NodeId id = live_nodes_[k];
-            const auto i = static_cast<std::size_t>(id);
-            const std::span<Message> inbox = inbox_slice(i);
-            order_inbox(inbox, id);
-            const std::span<const NodeId> nbrs = neighbors_unchecked(i);
-            buffers_[i].begin(id, round_, nbrs, limits);
-            NodeContext ctx(buffers_[i], id, round_, nbrs, node_rngs_[i]);
-            processes_[i]->on_round(ctx, std::span<const Message>(inbox));
-          }
-        });
+    const auto step_range = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        const NodeId id = live_nodes_[k];
+        const auto i = static_cast<std::size_t>(id);
+        const std::span<Message> inbox = inbox_slice(i);
+        order_inbox(inbox, id);
+        const std::span<const NodeId> nbrs = neighbors_unchecked(i);
+        buffers_[i].begin(id, round_, nbrs, limits);
+        NodeContext ctx(buffers_[i], id, round_, nbrs, node_rngs_[i]);
+        processes_[i]->on_round(ctx, std::span<const Message>(inbox));
+      }
+    };
+    if (tracer) {
+      // Each shard times itself; the mutex serialises only the trace
+      // append, never the stepped nodes.
+      shard_times.clear();
+      t_step0 = TraceClock::now();
+      executor_->for_shards(
+          live_count, [&](std::size_t begin, std::size_t end) {
+            const TraceClock::time_point s0 = TraceClock::now();
+            step_range(begin, end);
+            const TraceClock::time_point s1 = TraceClock::now();
+            const std::lock_guard<std::mutex> lock(shard_mu);
+            shard_times.push_back(
+                {begin, end, seconds_between(s0, s1)});
+          });
+      t_step1 = TraceClock::now();
+    } else {
+      executor_->for_shards(live_count, step_range);
+    }
 
     // Commit, pass 1 — tally: walk the staged buffers in canonical node-id
     // order, draw fault coins in send order (streams are per
@@ -276,7 +334,7 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
     // pass O(#halts).
     std::uint64_t sent_this_round = 0;
     std::uint64_t bits_acc = 0;
-    int max_bits = run_metrics.max_message_bits;
+    int max_bits = 0;  // round-local; merged into run_metrics after tally
     survivors_.clear();
     halt_requests_.clear();
     transport_touches_ += live_nodes_.size();
@@ -285,6 +343,10 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
       const std::span<const Message> staged = buffers_[i].staged();
       sent_this_round += staged.size();
       if (buffers_[i].halt_requested()) halt_requests_.push_back(sender);
+      if (limits.capture_annotations) {
+        for (const std::string_view phase : buffers_[i].annotations())
+          ++phase_counts[phase];
+      }
       if (staged.empty()) continue;
       if (hazards) {
         FaultPlan::SenderCoins coins =
@@ -324,7 +386,8 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
         hazards ? survivors_.size() : sent_this_round;
     run_metrics.messages += survivors;
     run_metrics.total_bits += bits_acc;
-    run_metrics.max_message_bits = max_bits;
+    run_metrics.max_message_bits =
+        std::max(run_metrics.max_message_bits, max_bits);
 
     // Commit, pass 2 — layout: the step phase consumed the old arena, so
     // retire its slices and prefix-sum the tally into the new ones. Only
@@ -343,6 +406,7 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
       ++transport_touches_;
     }
     next_arena_.resize(offset);
+    if (tracer) t_commit1 = TraceClock::now();
 
     // Commit, pass 3 — scatter survivors into their slices. The source is
     // read in canonical order (ascending sender, ties in send-call order),
@@ -378,6 +442,7 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
     }
     arena_.swap(next_arena_);
     inflight_messages_ = survivors;
+    if (tracer) t_scatter1 = TraceClock::now();
     run_metrics.bytes_moved += survivors * sizeof(Message);
     run_metrics.arena_peak_messages =
         std::max(run_metrics.arena_peak_messages, survivors);
@@ -400,6 +465,36 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
 
     run_metrics.max_messages_in_round =
         std::max(run_metrics.max_messages_in_round, sent_this_round);
+
+    if (tracer) {
+      TraceRound record;
+      record.round = round_;
+      record.live = live_count;
+      record.sent = sent_this_round;
+      record.delivered = survivors;
+      record.dropped = run_metrics.dropped - dropped_before;
+      record.duplicated = run_metrics.duplicated - dup_before;
+      record.crashed = run_metrics.crashed - crashed_before;
+      record.halted = halt_requests_.size();
+      record.bits = bits_acc;
+      record.max_bits = max_bits;
+      record.arena = survivors;
+      record.step_s = seconds_between(t_step0, t_step1);
+      record.commit_s = seconds_between(t_step1, t_commit1);
+      record.scatter_s = seconds_between(t_commit1, t_scatter1);
+      // Shards finish in scheduler order; present them by live-list range.
+      std::sort(shard_times.begin(), shard_times.end(),
+                [](const TraceShard& a, const TraceShard& b) {
+                  return a.begin < b.begin;
+                });
+      record.shards = shard_times;
+      record.phases.reserve(phase_counts.size());
+      for (const auto& [phase, count] : phase_counts)
+        record.phases.emplace_back(std::string(phase), count);
+      phase_counts.clear();
+      tracer->on_round(std::move(record));
+    }
+
     run_metrics.rounds += 1;
     round_ += 1;
   }

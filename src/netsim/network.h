@@ -90,6 +90,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -102,6 +103,7 @@ namespace dflp::net {
 class Network;
 class ParallelExecutor;
 class RoundBuffer;
+class Tracer;
 
 /// Transport abstraction NodeContext delegates to. The synchronous Network
 /// hands each node a private RoundBuffer implementing it; the
@@ -125,6 +127,14 @@ class MessageSink {
   /// built by the reliable channel. Only transports that carry framed
   /// traffic implement it; the default rejects.
   virtual void sink_frame(NodeId from, const Message& frame);
+  /// Record an algorithm-phase annotation (netsim/trace.h). Purely
+  /// observational: no message, no bits, no randomness. The default drops
+  /// it; RoundBuffer captures it when the run is traced with
+  /// `Tracer(capture_phases=true)`.
+  virtual void sink_annotate(NodeId node, std::string_view phase) {
+    (void)node;
+    (void)phase;
+  }
 };
 
 /// Per-invocation view a process gets of its node. Created fresh by the
@@ -162,6 +172,13 @@ class NodeContext {
   /// Mark this node as done. A halted node is no longer stepped; delivery
   /// to a halted node is permitted but the inbox is discarded.
   void halt() noexcept;
+
+  /// Mark an algorithm phase for this (node, round) — e.g. "offer",
+  /// "accept", "open". Free when the run is untraced (a virtual call into a
+  /// no-op); when traced with phase capture the label is aggregated into
+  /// the round's trace record. `phase` must outlive the step — use string
+  /// literals. Never affects messages, metrics, or randomness.
+  void annotate(std::string_view phase) { sink_->sink_annotate(self_, phase); }
 
   /// Constructs a context over any transport. Library users normally never
   /// build one — Network and the synchronizer do.
@@ -217,6 +234,11 @@ class Network final {
     /// Threads for the step phase and the commit scatter (>= 1). Results
     /// are bit-identical for every value; 1 runs inline with no pool.
     int num_threads = 1;
+    /// Optional round tracer (netsim/trace.h), not owned; must outlive the
+    /// network. nullptr (the default) disables tracing at the cost of one
+    /// pointer test per round. Tracing is purely observational — it never
+    /// changes the execution (see the trace header's cost contract).
+    Tracer* tracer = nullptr;
   };
 
   Network(std::size_t num_nodes, Options options);

@@ -15,6 +15,7 @@ void RoundBuffer::begin(NodeId node, std::uint64_t round,
   limits_ = limits;
   staged_.clear();
   edge_sends_.assign(neighbors.size(), 0);
+  annotations_.clear();
   halt_ = false;
 }
 
@@ -127,9 +128,20 @@ void RoundBuffer::sink_halt(NodeId node) {
   halt_ = true;
 }
 
+void RoundBuffer::sink_annotate(NodeId node, std::string_view phase) {
+  if (!limits_.capture_annotations) return;
+  DFLP_CHECK_MSG(node == owner_,
+                 "annotation from node " << node
+                                         << " staged into the buffer of node "
+                                         << owner_);
+  DFLP_CHECK_MSG(!phase.empty(), "empty phase annotation from node " << node);
+  annotations_.push_back(phase);
+}
+
 void RoundBuffer::clear() noexcept {
   staged_.clear();
   std::fill(edge_sends_.begin(), edge_sends_.end(), 0);
+  annotations_.clear();
   halt_ = false;
 }
 

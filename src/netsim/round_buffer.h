@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "netsim/message.h"
@@ -39,6 +40,10 @@ class RoundBuffer final : public MessageSink {
     /// Largest opcode the staged protocol may use (the synchronizer
     /// reserves 0xFE/0xFF for its control traffic).
     std::uint8_t max_kind = 0xFF;
+    /// Record NodeContext::annotate phase labels for the round tracer
+    /// (netsim/trace.h). Off by default: annotations are dropped at the
+    /// sink, so untraced runs pay only the virtual call.
+    bool capture_annotations = false;
   };
 
   RoundBuffer() = default;
@@ -64,6 +69,10 @@ class RoundBuffer final : public MessageSink {
   /// budget, and per-edge allowance checks.
   void sink_frame(NodeId from, const Message& frame) override;
   void sink_halt(NodeId node) override;
+  /// Captures the phase label when `Limits::capture_annotations` is set,
+  /// drops it otherwise. Labels are stored as views — callers pass string
+  /// literals (see NodeContext::annotate) that outlive the commit drain.
+  void sink_annotate(NodeId node, std::string_view phase) override;
 
   /// Messages staged this step, in send-call order, with resolved bit
   /// sizes (>= the honest minimum).
@@ -72,6 +81,12 @@ class RoundBuffer final : public MessageSink {
   }
   [[nodiscard]] bool halt_requested() const noexcept { return halt_; }
   [[nodiscard]] NodeId owner() const noexcept { return owner_; }
+
+  /// Phase labels annotated this step, in call order (empty unless
+  /// `Limits::capture_annotations`). Drained by the commit tally.
+  [[nodiscard]] std::span<const std::string_view> annotations() const noexcept {
+    return annotations_;
+  }
 
   /// Whether any message was staged to the neighbour at `neighbor_idx`
   /// (position in the adjacency list) — the synchronizer's silent-edge
@@ -90,6 +105,7 @@ class RoundBuffer final : public MessageSink {
   Limits limits_;
   std::vector<Message> staged_;
   std::vector<std::int8_t> edge_sends_;  ///< per neighbour index
+  std::vector<std::string_view> annotations_;
   bool halt_ = false;
 };
 

@@ -19,6 +19,7 @@
 #include "core/aggregate.h"
 #include "core/mw_greedy.h"
 #include "core/pipeline.h"
+#include "netsim/trace.h"
 #include "workload/generators.h"
 
 namespace dflp {
@@ -247,6 +248,94 @@ TEST_P(EngineEquivalenceTest, DiscoverBoundsBitIdenticalAcrossThreadCounts) {
       continue;
     }
     EXPECT_EQ(trace, baseline) << "threads = " << threads;
+  }
+}
+
+/// Deterministic trace payload: every field except wall-clock timings, the
+/// per-thread shard split (which legitimately varies with num_threads), and
+/// the section's recorded thread count. Everything here must be
+/// bit-identical across thread counts.
+std::string trace_payload_fingerprint(const net::Tracer& tracer) {
+  std::ostringstream os;
+  for (const net::TraceSection& s : tracer.sections())
+    os << s.name << ':' << s.nodes << ':' << s.edges << ':' << s.seed << ':'
+       << s.bit_budget << ';';
+  for (const net::TraceRound& r : tracer.rounds()) {
+    os << '\n'
+       << r.section << '/' << r.round << '/' << r.live << '/' << r.sent << '/'
+       << r.delivered << '/' << r.dropped << '/' << r.duplicated << '/'
+       << r.crashed << '/' << r.halted << '/' << r.bits << '/' << r.max_bits
+       << '/' << r.arena;
+    for (const auto& [label, count] : r.phases)
+      os << '/' << label << '=' << count;
+  }
+  return os.str();
+}
+
+// Tracing is a pure observation layer: attaching a Tracer (with phase
+// capture, the most invasive configuration) must not change solutions,
+// metrics, fault-coin streams, or failure diagnostics at any thread count —
+// and the deterministic part of the trace itself must be bit-identical
+// across thread counts. Runs that fail loudly under faults keep the rounds
+// recorded before the throw, which must also be stable.
+TEST_P(EngineEquivalenceTest, MwGreedyTracingIsPureObservation) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 60, 7);
+  const auto run = [&](int threads, net::Tracer* tracer) {
+    return outcome_trace([&] {
+      core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/11);
+      params.num_threads = threads;
+      params.tracer = tracer;
+      const core::MwGreedyOutcome out = core::run_mw_greedy(inst, params);
+      return solution_fingerprint(inst, out.solution) + " | " +
+             metrics_fingerprint(out.metrics);
+    });
+  };
+  const std::string untraced = run(/*threads=*/1, nullptr);
+  std::string payload_baseline;
+  for (int threads : kThreadCounts) {
+    net::Tracer tracer(/*capture_phases=*/true);
+    EXPECT_EQ(run(threads, &tracer), untraced) << "threads = " << threads;
+    const std::string payload = trace_payload_fingerprint(tracer);
+    if (threads == 1) {
+      payload_baseline = payload;
+      continue;
+    }
+    EXPECT_EQ(payload, payload_baseline) << "threads = " << threads;
+  }
+}
+
+TEST_P(EngineEquivalenceTest, PipelineTracingIsPureObservation) {
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kPowerLaw, 50, 3);
+  const auto run = [&](int threads, net::Tracer* tracer) {
+    return outcome_trace([&] {
+      core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/5);
+      params.num_threads = threads;
+      params.tracer = tracer;
+      const core::PipelineOutcome out = core::run_pipeline(inst, params);
+      return solution_fingerprint(inst, out.solution) + " | " +
+             metrics_fingerprint(out.frac_metrics) + " | " +
+             metrics_fingerprint(out.round_metrics);
+    });
+  };
+  const std::string untraced = run(/*threads=*/1, nullptr);
+  std::string payload_baseline;
+  for (int threads : kThreadCounts) {
+    net::Tracer tracer(/*capture_phases=*/true);
+    EXPECT_EQ(run(threads, &tracer), untraced) << "threads = " << threads;
+    // The pipeline labels one section per stage it reaches.
+    if (GetParam().mode == FaultMode::kFaultFree) {
+      ASSERT_GE(tracer.sections().size(), 2u);
+      EXPECT_EQ(tracer.sections()[0].name, "frac-lp");
+      EXPECT_EQ(tracer.sections()[1].name, "rand-round");
+    }
+    const std::string payload = trace_payload_fingerprint(tracer);
+    if (threads == 1) {
+      payload_baseline = payload;
+      continue;
+    }
+    EXPECT_EQ(payload, payload_baseline) << "threads = " << threads;
   }
 }
 

@@ -17,6 +17,12 @@
 // the recovery transport. With faults active, `solve` also reports round
 // dilation against the fault-free baseline.
 //
+// Tracing flags (solve only): `--trace <path>` writes a round-level trace
+// of the distributed run (docs/trace-schema.md), `--trace-format
+// jsonl|chrome` picks the exporter, and `--trace-phases` additionally
+// records per-node algorithm-phase annotations. Tracing never changes the
+// solution — traced runs are bit-identical to untraced ones.
+//
 // `-` reads the instance from stdin. Families: uniform, euclidean,
 // powerlaw, greedy-tight, star. Algorithms: any name printed by
 // `dflp_cli solve help`.
@@ -30,6 +36,7 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "netsim/trace.h"
 #include "fl/serialize.h"
 #include "harness/report.h"
 #include "harness/runner.h"
@@ -49,9 +56,13 @@ double g_crash_frac = 0.0;  ///< --crash-frac X: boot-crashed facility frac
 int g_burst_len = 0;        ///< --burst-len N: mean burst length in rounds
 std::uint64_t g_fault_seed = 0;  ///< --fault-seed S
 bool g_reliable = false;         ///< --reliable: wrap in ReliableChannel
+/// Tracing flags (solve only; see docs/trace-schema.md).
+std::string g_trace_path;  ///< --trace <path>: write a round-level trace
+net::TraceFormat g_trace_format = net::TraceFormat::kJsonl;
+bool g_trace_phases = false;  ///< --trace-phases: record phase annotations
 
-int usage() {
-  std::cerr
+int usage(std::ostream& out = std::cerr, int code = 2) {
+  out
       << "usage:\n"
          "  dflp_cli generate <family> <size> <seed>\n"
          "  dflp_cli info   <instance.ufl|->\n"
@@ -65,11 +76,17 @@ int usage() {
          "         --burst-len N  (Gilbert-Elliott bursts, mean N rounds)\n"
          "         --fault-seed S (seed of the fault schedule streams)\n"
          "         --reliable     (reliable-transport recovery layer)\n"
+         "         --trace PATH   (solve only: write a round-level trace;\n"
+         "                         see docs/trace-schema.md)\n"
+         "         --trace-format jsonl|chrome\n"
+         "                        (trace exporter; default jsonl)\n"
+         "         --trace-phases (record per-node algorithm-phase\n"
+         "                         annotations in the trace)\n"
          "families: uniform euclidean powerlaw greedy-tight star\n"
          "algorithms: mw-greedy mw-pipeline ideal-greedy seq-greedy\n"
          "            jain-vazirani mettu-plaxton jms-greedy local-search\n"
          "            open-all nearest-facility\n";
-  return 2;
+  return code;
 }
 
 /// True when any fault/recovery flag changes run semantics.
@@ -182,6 +199,9 @@ int cmd_solve(int argc, char** argv) {
                          : 1;
   params.num_threads = g_threads;
   apply_fault_flags(params);
+  params.trace_path = g_trace_path;
+  params.trace_format = g_trace_format;
+  params.trace_phases = g_trace_phases;
   for (const auto& [name, algo] : algo_registry()) {
     if (name == algo_name) {
       const harness::LowerBound lb = harness::compute_lower_bound(inst);
@@ -191,9 +211,12 @@ int cmd_solve(int argc, char** argv) {
       if (distributed && fault_flags_active()) {
         // Round dilation against the fault-free baseline sharing the same
         // transport mode and boot-crash pruning (fault_seed preserved).
+        // The baseline is never traced — it must not clobber the trace of
+        // the faulted run.
         core::MwParams clean = params;
         clean.faults = net::FaultPlan::Options{};
         clean.faults.fault_seed = params.faults.fault_seed;
+        clean.trace_path.clear();
         const harness::RunResult base =
             harness::run_algorithm(algo, inst, clean, lb);
         if (base.rounds > 0) {
@@ -205,6 +228,14 @@ int cmd_solve(int argc, char** argv) {
                              "lower bound (" + lb.kind + ") = " +
                                  format_double(lb.value, 2),
                              harness::results_table({r}));
+      if (!r.trace_path.empty()) {
+        std::cout << "trace ("
+                  << net::trace_format_name(params.trace_format)
+                  << ") written to " << r.trace_path << "\n";
+      } else if (!g_trace_path.empty()) {
+        std::cout << "note: --trace applies to the distributed algorithms "
+                     "(mw-greedy, mw-pipeline); no trace written\n";
+      }
       return 0;
     }
   }
@@ -299,6 +330,25 @@ int main(int argc, char** argv) {
       g_reliable = true;
       continue;
     }
+    if (arg == "--trace") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_trace_path = v;
+      continue;
+    }
+    if (arg == "--trace-format") {
+      const char* v = take_value();
+      if (v == nullptr || !net::parse_trace_format(v, &g_trace_format)) {
+        std::cerr << "--trace-format must be jsonl or chrome\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--trace-phases") {
+      g_trace_phases = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
     args.push_back(argv[i]);
   }
   argc = static_cast<int>(args.size());

@@ -1,0 +1,51 @@
+// trace_check — schema validator for dflp round traces.
+//
+//   trace_check <trace.jsonl|->
+//
+// Exit 0 when the input is a valid version-1 JSONL trace
+// (docs/trace-schema.md): header first, known record types, required
+// fields, dense section ids, consecutive per-section round numbers, and
+// the counter identity delivered == sent - dropped + duplicated. Exit 1
+// with the reason on stderr otherwise. CI's trace-smoke job runs this on a
+// fresh `dflp_cli solve --trace` output.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "netsim/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_check <trace.jsonl|->\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+
+  // Buffer the input so the summary pass can re-read it after validation
+  // (stdin cannot be rewound).
+  std::stringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in.good()) {
+      std::cerr << "trace_check: cannot open '" << path << "'\n";
+      return 1;
+    }
+    buffer << in.rdbuf();
+  }
+
+  std::string why;
+  if (!dflp::net::validate_trace_jsonl(buffer, &why)) {
+    std::cerr << "trace_check: INVALID: " << why << "\n";
+    return 1;
+  }
+  buffer.clear();
+  buffer.seekg(0);
+  const dflp::net::ParsedTrace trace = dflp::net::read_trace_jsonl(buffer);
+  std::cout << "trace_check: ok (version " << trace.version << ", "
+            << trace.sections.size() << " section(s), " << trace.rounds.size()
+            << " round(s))\n";
+  return 0;
+}
