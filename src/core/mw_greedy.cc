@@ -371,6 +371,8 @@ MwGreedyAsyncOutcome run_mw_greedy_async(const fl::Instance& inst,
       2;
   options.max_delay = max_delay;
   options.seed = params.seed;
+  options.tracer = params.tracer;
+  if (params.tracer != nullptr) params.tracer->set_section("mw-greedy-async");
 
   net::AsyncNetwork net(
       static_cast<std::size_t>(inst.num_facilities() + inst.num_clients()),

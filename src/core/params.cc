@@ -20,15 +20,40 @@ std::string MwSchedule::describe() const {
   return os.str();
 }
 
-MwSchedule derive_schedule(const fl::Instance& inst, const MwParams& params) {
+InstanceBounds InstanceBounds::of(const fl::Instance& inst) {
+  InstanceBounds b;
+  b.max_facilities = inst.num_facilities();
+  b.max_network_nodes = inst.num_facilities() + inst.num_clients();
+  b.min_positive_cost = inst.cost_profile().min_positive;
+  b.max_cost = inst.cost_profile().max_value;
+  b.max_facility_degree = inst.max_facility_degree();
+  return b;
+}
+
+bool InstanceBounds::dominates(const InstanceBounds& other) const {
+  return max_facilities >= other.max_facilities &&
+         max_network_nodes >= other.max_network_nodes &&
+         min_positive_cost <= other.min_positive_cost &&
+         max_cost >= other.max_cost &&
+         max_facility_degree >= other.max_facility_degree;
+}
+
+MwSchedule derive_schedule_from_bounds(const InstanceBounds& bounds,
+                                       const MwParams& params) {
   DFLP_CHECK_MSG(params.k >= 1, "k must be >= 1, got " << params.k);
   DFLP_CHECK(params.subphases_override >= 0);
+  DFLP_CHECK_MSG(bounds.max_facilities >= 1 && bounds.max_network_nodes >= 2,
+                 "bounds must admit at least one facility and one client");
 
-  const auto m = static_cast<double>(inst.num_facilities());
-  const fl::CostProfile& profile = inst.cost_profile();
-  const double rho = std::max(1.0, profile.rho);
+  const auto m = static_cast<double>(bounds.max_facilities);
+  const bool bounds_positive = std::isfinite(bounds.min_positive_cost) &&
+                               bounds.min_positive_cost > 0.0;
+  const double rho =
+      std::max(1.0, bounds_positive && bounds.max_cost > 0.0
+                        ? bounds.max_cost / bounds.min_positive_cost
+                        : 1.0);
   const double deg =
-      static_cast<double>(std::max(1, inst.max_facility_degree()));
+      static_cast<double>(std::max(1, bounds.max_facility_degree));
 
   MwSchedule sched;
   sched.k = params.k;
@@ -49,10 +74,10 @@ MwSchedule derive_schedule(const fl::Instance& inst, const MwParams& params) {
   // exactly zero (all-free star). A dedicated rung at 0 is always included
   // — the profile cannot tell whether zero costs occur, and the rung costs
   // one extra scale only.
-  const bool has_positive = std::isfinite(profile.min_positive);
+  const bool has_positive = bounds_positive;
   if (has_positive) {
-    const double e_lo = profile.min_positive / (deg + 1.0);
-    const double e_hi = profile.max_value * (deg + 1.0);
+    const double e_lo = bounds.min_positive_cost / (deg + 1.0);
+    const double e_hi = bounds.max_cost * (deg + 1.0);
     const int rungs = std::max(
         1, static_cast<int>(std::ceil(std::log(e_hi / e_lo) /
                                       std::log(sched.beta))) +
@@ -64,10 +89,10 @@ MwSchedule derive_schedule(const fl::Instance& inst, const MwParams& params) {
   sched.levels = static_cast<int>(sched.thresholds.size());
 
   // On-wire codec: anchor at the smallest positive cost (or 1 if none).
-  const double anchor = has_positive ? profile.min_positive : 1.0;
+  const double anchor = has_positive ? bounds.min_positive_cost : 1.0;
   sched.codec = CostCodec(anchor, 0.25);
 
-  sched.num_network_nodes = inst.num_facilities() + inst.num_clients();
+  sched.num_network_nodes = bounds.max_network_nodes;
   sched.bit_budget = net::congest_bit_budget(
       static_cast<std::size_t>(sched.num_network_nodes));
 
@@ -81,6 +106,11 @@ MwSchedule derive_schedule(const fl::Instance& inst, const MwParams& params) {
       2, 2 * ceil_log2(static_cast<std::uint64_t>(sched.num_network_nodes) +
                        2));
   return sched;
+}
+
+MwSchedule derive_schedule(const fl::Instance& inst, const MwParams& params) {
+  if (params.pinned_schedule != nullptr) return *params.pinned_schedule;
+  return derive_schedule_from_bounds(InstanceBounds::of(inst), params);
 }
 
 }  // namespace dflp::core

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,8 @@ enum class AcceptRule : std::uint8_t {
   /// Opens on any accept (aggressive; cheaper rounds, worse ratio).
   kAnyAccept,
 };
+
+struct MwSchedule;
 
 struct MwParams {
   /// The paper's locality/quality trade-off parameter (k >= 1).
@@ -83,6 +86,17 @@ struct MwParams {
   std::string trace_path;
   net::TraceFormat trace_format = net::TraceFormat::kJsonl;
   bool trace_phases = false;
+  /// Warm-start entry point for epoch-batched re-solves (service layer):
+  /// when non-null, every runner uses *this* schedule verbatim instead of
+  /// re-deriving one from the instance at hand. A service derives the
+  /// schedule once from its declared capacity bounds
+  /// (`derive_schedule_from_bounds`) and pins it, so solves become pure
+  /// functions of (sub-instance, seed, schedule) — the property that makes
+  /// per-component solution reuse across epochs exact. Not owned; must
+  /// outlive the run. The caller is responsible for deriving it from
+  /// bounds that dominate the instance (thresholds bracket every star,
+  /// bit budget covers N).
+  const MwSchedule* pinned_schedule = nullptr;
 };
 
 /// The deterministic schedule every node runs against.
@@ -104,7 +118,33 @@ struct MwSchedule {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Computes the schedule from the instance's a-priori bounds and k.
+/// A-priori instance bounds a deployment declares up front (the paper's
+/// "polynomial bound on the network size" assumption made concrete). A
+/// schedule derived from bounds is valid for *every* instance they
+/// dominate, which is what lets a streaming service pin one schedule
+/// across epochs and sub-instances.
+struct InstanceBounds {
+  std::int32_t max_facilities = 1;    ///< upper bound on m
+  std::int32_t max_network_nodes = 2; ///< upper bound on N = m + n
+  /// Lower bound on any positive cost; +inf declares "all costs zero".
+  double min_positive_cost = std::numeric_limits<double>::infinity();
+  double max_cost = 0.0;              ///< upper bound on any cost
+  int max_facility_degree = 1;
+
+  /// The tight bounds of one concrete instance.
+  [[nodiscard]] static InstanceBounds of(const fl::Instance& inst);
+
+  /// True when every bound of `other` is within this one (an instance with
+  /// `other = of(inst)` may then run under this bounds' schedule).
+  [[nodiscard]] bool dominates(const InstanceBounds& other) const;
+};
+
+/// Computes the schedule from declared a-priori bounds and k.
+[[nodiscard]] MwSchedule derive_schedule_from_bounds(
+    const InstanceBounds& bounds, const MwParams& params);
+
+/// Computes the schedule from the instance's a-priori bounds and k; when
+/// `params.pinned_schedule` is set, returns that schedule verbatim.
 [[nodiscard]] MwSchedule derive_schedule(const fl::Instance& inst,
                                          const MwParams& params);
 

@@ -8,6 +8,17 @@
 
 namespace dflp::fl {
 
+void InstanceBuilder::reserve(std::int32_t num_facilities,
+                              std::int32_t num_clients,
+                              std::size_t num_edges) {
+  DFLP_CHECK(num_facilities >= 0 && num_clients >= 0);
+  opening_.reserve(opening_.size() + static_cast<std::size_t>(num_facilities));
+  edges_.reserve(edges_.size() + num_edges);
+  // Clients are just a counter today; the parameter keeps the hint
+  // self-describing (and future-proofs per-client builder state).
+  (void)num_clients;
+}
+
 FacilityId InstanceBuilder::add_facility(Cost opening_cost) {
   DFLP_CHECK_MSG(std::isfinite(opening_cost) && opening_cost >= 0.0,
                  "opening cost must be finite and non-negative, got "

@@ -54,6 +54,13 @@ class Instance;
 /// Mutable builder; `build()` validates and freezes.
 class InstanceBuilder {
  public:
+  /// Size hints for the coming instance: pre-allocates the facility and
+  /// edge staging vectors so large builds are not dominated by vector
+  /// regrowth. Purely an allocation hint — over- or under-shooting is
+  /// harmless.
+  void reserve(std::int32_t num_facilities, std::int32_t num_clients,
+               std::size_t num_edges);
+
   /// Returns the new facility's id (dense, in insertion order).
   FacilityId add_facility(Cost opening_cost);
 

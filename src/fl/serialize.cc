@@ -68,4 +68,152 @@ Instance from_text(const std::string& text) {
   return read_instance(is);
 }
 
+void write_snapshot(std::ostream& os, const InstanceSnapshot& snap) {
+  os << "dflp-snap 1\n";
+  os << snap.epoch() << ' ' << snap.next_facility_key() << ' '
+     << snap.next_client_key() << '\n';
+  write_instance(os, snap.instance());
+  const Instance& inst = snap.instance();
+  for (FacilityId i = 0; i < inst.num_facilities(); ++i)
+    os << snap.facility_key(i) << (i + 1 < inst.num_facilities() ? ' ' : '\n');
+  for (ClientId j = 0; j < inst.num_clients(); ++j)
+    os << snap.client_key(j) << (j + 1 < inst.num_clients() ? ' ' : '\n');
+}
+
+std::string snapshot_to_text(const InstanceSnapshot& snap) {
+  std::ostringstream os;
+  write_snapshot(os, snap);
+  return os.str();
+}
+
+InstanceSnapshot read_snapshot(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  DFLP_CHECK_MSG(is && magic == "dflp-snap" && version == 1,
+                 "bad header: expected 'dflp-snap 1', got '"
+                     << magic << ' ' << version << "'");
+  EpochId epoch = 0;
+  NodeKey next_f = 0;
+  NodeKey next_c = 0;
+  is >> epoch >> next_f >> next_c;
+  DFLP_CHECK_MSG(!is.fail(), "malformed snapshot epoch line");
+  Instance inst = read_instance(is);
+  std::vector<NodeKey> fkeys(static_cast<std::size_t>(inst.num_facilities()));
+  std::vector<NodeKey> ckeys(static_cast<std::size_t>(inst.num_clients()));
+  for (NodeKey& k : fkeys) is >> k;
+  DFLP_CHECK_MSG(!is.fail(), "truncated facility keys");
+  for (NodeKey& k : ckeys) is >> k;
+  DFLP_CHECK_MSG(!is.fail(), "truncated client keys");
+  return InstanceSnapshot::restore(std::move(inst), epoch, std::move(fkeys),
+                                   std::move(ckeys), next_f, next_c);
+}
+
+InstanceSnapshot snapshot_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_snapshot(is);
+}
+
+void write_delta_log(std::ostream& os, const DeltaLog& log) {
+  os << "dflp-delta-log 1\n" << log.size() << '\n';
+  os.precision(17);
+  for (const Delta& d : log.deltas()) {
+    switch (d.kind) {
+      case Delta::Kind::kClientArrive:
+        os << "arrive " << d.client << ' ' << d.edges.size();
+        for (const KeyedEdge& e : d.edges) os << ' ' << e.peer << ' '
+                                              << e.cost;
+        os << '\n';
+        break;
+      case Delta::Kind::kClientDepart:
+        os << "depart " << d.client << '\n';
+        break;
+      case Delta::Kind::kFacilityOpen:
+        os << "open " << d.facility << ' ' << d.cost << ' '
+           << d.edges.size();
+        for (const KeyedEdge& e : d.edges) os << ' ' << e.peer << ' '
+                                              << e.cost;
+        os << '\n';
+        break;
+      case Delta::Kind::kFacilityClose:
+        os << "close " << d.facility << '\n';
+        break;
+      case Delta::Kind::kEdgeCostChange:
+        os << "reprice " << d.facility << ' ' << d.client << ' ' << d.cost
+           << '\n';
+        break;
+    }
+  }
+}
+
+std::string delta_log_to_text(const DeltaLog& log) {
+  std::ostringstream os;
+  write_delta_log(os, log);
+  return os.str();
+}
+
+DeltaLog read_delta_log(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  DFLP_CHECK_MSG(is && magic == "dflp-delta-log" && version == 1,
+                 "bad header: expected 'dflp-delta-log 1', got '"
+                     << magic << ' ' << version << "'");
+  std::int64_t count = 0;
+  is >> count;
+  DFLP_CHECK_MSG(!is.fail() && count >= 0, "bad delta count " << count);
+
+  const auto read_edges = [&is](std::int64_t line) {
+    std::int64_t deg = 0;
+    is >> deg;
+    DFLP_CHECK_MSG(!is.fail() && deg >= 0,
+                   "bad edge count on delta line " << line);
+    std::vector<KeyedEdge> edges(static_cast<std::size_t>(deg));
+    for (KeyedEdge& e : edges) is >> e.peer >> e.cost;
+    DFLP_CHECK_MSG(!is.fail(), "truncated edges on delta line " << line);
+    return edges;
+  };
+
+  DeltaLog log;
+  for (std::int64_t t = 0; t < count; ++t) {
+    std::string kind;
+    is >> kind;
+    DFLP_CHECK_MSG(!is.fail(), "truncated delta log at entry " << t);
+    if (kind == "arrive") {
+      NodeKey c = kNoKey;
+      is >> c;
+      log.append(Delta::client_arrive(c, read_edges(t)));
+    } else if (kind == "depart") {
+      NodeKey c = kNoKey;
+      is >> c;
+      log.append(Delta::client_depart(c));
+    } else if (kind == "open") {
+      NodeKey f = kNoKey;
+      Cost opening = 0.0;
+      is >> f >> opening;
+      log.append(Delta::facility_open(f, opening, read_edges(t)));
+    } else if (kind == "close") {
+      NodeKey f = kNoKey;
+      is >> f;
+      log.append(Delta::facility_close(f));
+    } else if (kind == "reprice") {
+      NodeKey f = kNoKey;
+      NodeKey c = kNoKey;
+      Cost cost = 0.0;
+      is >> f >> c >> cost;
+      log.append(Delta::edge_cost_change(f, c, cost));
+    } else {
+      DFLP_CHECK_MSG(false, "unknown delta kind '" << kind << "' at entry "
+                                                   << t);
+    }
+    DFLP_CHECK_MSG(!is.fail(), "malformed delta at entry " << t);
+  }
+  return log;
+}
+
+DeltaLog delta_log_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_delta_log(is);
+}
+
 }  // namespace dflp::fl

@@ -1,18 +1,35 @@
-// Plain-text (de)serialization of UFL instances.
+// Plain-text (de)serialization of UFL instances, snapshots and delta logs.
 //
-// Format (whitespace separated):
+// Instance format (whitespace separated):
 //   dflp-ufl 1
 //   <m> <n> <E>
 //   <f_0> ... <f_{m-1}>
 //   <i> <j> <c>     (E edge lines: facility, client, connection cost)
 //
-// The format is line-oriented and diff-friendly so pathological instances
+// Snapshot format wraps an instance with its epoch and stable-key maps:
+//   dflp-snap 1
+//   <epoch> <next_facility_key> <next_client_key>
+//   <embedded dflp-ufl 1 block>
+//   <m facility keys, ascending>
+//   <n client keys, ascending>
+//
+// Delta-log format, one delta per line after the count:
+//   dflp-delta-log 1
+//   <count>
+//   arrive <client_key> <deg> (<facility_key> <cost>)*
+//   depart <client_key>
+//   open <facility_key> <opening_cost> <deg> (<client_key> <cost>)*
+//   close <facility_key>
+//   reprice <facility_key> <client_key> <new_cost>
+//
+// All formats are line-oriented and diff-friendly so pathological inputs
 // found by tests can be checked in as fixtures.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "fl/delta.h"
 #include "fl/instance.h"
 
 namespace dflp::fl {
@@ -28,5 +45,23 @@ void write_instance(std::ostream& os, const Instance& inst);
 
 /// Convenience: parse from a string.
 [[nodiscard]] Instance from_text(const std::string& text);
+
+/// Writes `snap` in the dflp-snap v1 format (embeds the instance).
+void write_snapshot(std::ostream& os, const InstanceSnapshot& snap);
+[[nodiscard]] std::string snapshot_to_text(const InstanceSnapshot& snap);
+
+/// Parses a dflp-snap v1 stream; throws dflp::CheckError on malformed
+/// input or broken key invariants.
+[[nodiscard]] InstanceSnapshot read_snapshot(std::istream& is);
+[[nodiscard]] InstanceSnapshot snapshot_from_text(const std::string& text);
+
+/// Writes `log` in the dflp-delta-log v1 format.
+void write_delta_log(std::ostream& os, const DeltaLog& log);
+[[nodiscard]] std::string delta_log_to_text(const DeltaLog& log);
+
+/// Parses a dflp-delta-log v1 stream; throws dflp::CheckError on
+/// malformed input.
+[[nodiscard]] DeltaLog read_delta_log(std::istream& is);
+[[nodiscard]] DeltaLog delta_log_from_text(const std::string& text);
 
 }  // namespace dflp::fl

@@ -27,6 +27,30 @@ Table results_table(const std::vector<RunResult>& results) {
   return table;
 }
 
+Table stream_table(const std::vector<service::EpochReport>& reports) {
+  Table table({"epoch", "events", "clients", "cost", "rounds", "messages",
+               "solved", "reused", "opened", "closed", "reassigned",
+               "arrived", "departed", "wall-ms"});
+  for (const service::EpochReport& r : reports) {
+    table.row()
+        .cell(static_cast<std::int64_t>(r.epoch))
+        .cell(static_cast<std::uint64_t>(r.events))
+        .cell(r.num_clients)
+        .cell(r.cost, 2)
+        .cell(r.rounds)
+        .cell(r.messages)
+        .cell(r.solved_components)
+        .cell(r.reused_components)
+        .cell(r.recourse.facilities_opened)
+        .cell(r.recourse.facilities_closed)
+        .cell(r.recourse.clients_reassigned)
+        .cell(r.recourse.clients_arrived)
+        .cell(r.recourse.clients_departed)
+        .cell(r.total_ms, 2);
+  }
+  return table;
+}
+
 void print_section(const std::string& title, const std::string& subtitle,
                    const Table& table) {
   std::cout << "\n## " << title << "\n";

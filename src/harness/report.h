@@ -6,6 +6,7 @@
 
 #include "common/table.h"
 #include "harness/runner.h"
+#include "service/streaming_solver.h"
 
 namespace dflp::harness {
 
@@ -13,6 +14,14 @@ namespace dflp::harness {
 /// max-msg-bits | threads | dropped | crashed | retx | dilation |
 /// wall-ms.
 [[nodiscard]] Table results_table(const std::vector<RunResult>& results);
+
+/// Streaming-epoch columns, one row per commit: epoch | events | clients |
+/// cost | rounds | messages | solved | reused | opened | closed |
+/// reassigned | arrived | departed | wall-ms. The recourse columns
+/// (opened/closed/reassigned) are the churn metric EXPERIMENTS.md E13
+/// tracks alongside cost.
+[[nodiscard]] Table stream_table(
+    const std::vector<service::EpochReport>& reports);
 
 /// Prints a titled section with the lower-bound provenance to stdout.
 void print_section(const std::string& title, const std::string& subtitle,

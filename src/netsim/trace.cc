@@ -73,6 +73,14 @@ void write_round_jsonl(std::ostream& out, const TraceRound& r) {
   out << "]}\n";
 }
 
+void write_section_jsonl(std::ostream& out, std::size_t id,
+                         const TraceSection& s) {
+  out << "{\"type\":\"section\",\"id\":" << id << ",\"name\":\""
+      << json_escape(s.name) << "\",\"nodes\":" << s.nodes << ",\"edges\":"
+      << s.edges << ",\"threads\":" << s.threads << ",\"seed\":" << s.seed
+      << ",\"bit_budget\":" << s.bit_budget << "}\n";
+}
+
 }  // namespace
 
 bool parse_trace_format(std::string_view name, TraceFormat* out) noexcept {
@@ -115,14 +123,27 @@ void Tracer::on_round(TraceRound&& round) {
 void Tracer::write_jsonl(std::ostream& out) const {
   out << "{\"schema\":\"dflp-trace\",\"version\":" << kTraceSchemaVersion
       << "}\n";
-  for (std::size_t i = 0; i < sections_.size(); ++i) {
-    const TraceSection& s = sections_[i];
-    out << "{\"type\":\"section\",\"id\":" << i << ",\"name\":\""
-        << json_escape(s.name) << "\",\"nodes\":" << s.nodes << ",\"edges\":"
-        << s.edges << ",\"threads\":" << s.threads << ",\"seed\":" << s.seed
-        << ",\"bit_budget\":" << s.bit_budget << "}\n";
-  }
+  for (std::size_t i = 0; i < sections_.size(); ++i)
+    write_section_jsonl(out, i, sections_[i]);
   for (const TraceRound& r : rounds_) write_round_jsonl(out, r);
+}
+
+void write_trace_jsonl(const ParsedTrace& trace, std::ostream& out) {
+  out << "{\"schema\":\"dflp-trace\",\"version\":" << kTraceSchemaVersion
+      << "}\n";
+  for (std::size_t i = 0; i < trace.sections.size(); ++i)
+    write_section_jsonl(out, i, trace.sections[i]);
+  for (const TraceRound& r : trace.rounds) write_round_jsonl(out, r);
+}
+
+void normalize_trace(ParsedTrace* trace) {
+  for (TraceSection& s : trace->sections) s.threads = 1;
+  for (TraceRound& r : trace->rounds) {
+    r.step_s = 0.0;
+    r.commit_s = 0.0;
+    r.scatter_s = 0.0;
+    r.shards.clear();
+  }
 }
 
 void Tracer::write_chrome(std::ostream& out) const {

@@ -189,4 +189,19 @@ struct ParsedTrace {
 /// `*why`.
 [[nodiscard]] bool validate_trace_jsonl(std::istream& in, std::string* why);
 
+/// Re-emits a parsed trace in the same versioned JSONL schema that
+/// `Tracer::write_jsonl` produces (the round trip read -> write is
+/// byte-stable). Used by `trace_check --normalize` to print canonical
+/// traces for CI regression diffs.
+void write_trace_jsonl(const ParsedTrace& trace, std::ostream& out);
+
+/// Strips everything machine- or run-speed-dependent from a trace, in
+/// place, leaving only the deterministic round shape: wall timings
+/// (step_s/commit_s/scatter_s) are zeroed, per-thread step shards dropped,
+/// and section thread counts pinned to 1 (the counters are thread-invariant
+/// by the engine-equivalence guarantee). Two runs of the same solve at the
+/// same seed normalize to byte-identical JSONL, which is what the committed
+/// goldens under tests/goldens/ and CI's trace-regression job diff against.
+void normalize_trace(ParsedTrace* trace);
+
 }  // namespace dflp::net

@@ -1,0 +1,182 @@
+// Epoch-batched streaming solver service.
+//
+// A `StreamingSolver` owns the live `fl::InstanceSnapshot`, ingests typed
+// updates into a pending `fl::DeltaLog`, and on `commit_epoch()` applies
+// the batch (snapshot epoch + 1) and re-solves incrementally:
+//
+//   1. The schedule is *pinned*: derived once from the deployment's
+//      declared capacity bounds (`core::derive_schedule_from_bounds`) and
+//      handed to every runner via `MwParams::pinned_schedule`, so a solve
+//      is a pure function of (sub-instance, seed, schedule).
+//   2. Each epoch the snapshot is partitioned into connectivity
+//      components; a component's *key* is its smallest member facility's
+//      stable key, and its per-solve seed derives from that key alone.
+//      Because apply() renumbers monotonically, an untouched component
+//      reproduces the identical sub-instance epoch after epoch.
+//   3. Components whose member-key fingerprint is unchanged and that no
+//      delta of the epoch touched reuse their cached solution (including
+//      the fractional stage's y state under the pipeline engine — the
+//      warm-started fractional state); only dirty components re-run the
+//      distributed solver.
+//
+// The from-scratch baseline is the same machinery with the cache disabled
+// (`warm_start = false`), so warm and cold runs produce bit-identical
+// solutions and costs on every epoch by construction — the property
+// service_test pins down and bench_stream (E13) relies on.
+//
+// Every epoch yields an `EpochReport` with cost, rounds/messages of the
+// solved components, and *recourse*: facility-set churn and the number of
+// surviving clients whose assignment moved, both measured in stable-key
+// space so epoch-to-epoch comparisons are well-defined.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/params.h"
+#include "fl/delta.h"
+#include "fl/solution.h"
+#include "workload/stream.h"
+
+namespace dflp::service {
+
+/// Capacity bounds that dominate every snapshot a `workload::ClientStream`
+/// with these params can reach within `max_events` emitted events: the
+/// facility set is static, costs come from the generator's fixed ranges,
+/// and the client population is bounded by initial + every possible
+/// arrival. Deriving the pinned schedule from these keeps solves exact
+/// across the whole stream.
+[[nodiscard]] core::InstanceBounds stream_bounds(
+    const workload::StreamParams& params, std::int64_t max_events);
+
+/// Which distributed solver runs per component.
+enum class SolveEngine : std::uint8_t {
+  kMwGreedy,  ///< combinatorial greedy (paper's primary algorithm)
+  kPipeline,  ///< fractional LP stage + randomized rounding
+};
+[[nodiscard]] std::string engine_name(SolveEngine engine);
+
+struct StreamingOptions {
+  /// Solver knobs; `seed` is the stream-level base seed (per-component
+  /// seeds derive from it), `pinned_schedule` is managed by the service
+  /// and must be left null. `mopup` must stay enabled: the service
+  /// asserts feasibility of every epoch's solution.
+  core::MwParams params;
+  /// Declared capacity bounds; the pinned schedule is derived from these,
+  /// and every epoch's snapshot must stay within them (checked loudly).
+  core::InstanceBounds bounds;
+  SolveEngine engine = SolveEngine::kMwGreedy;
+  /// False = from-scratch baseline: every component re-solves each epoch.
+  bool warm_start = true;
+};
+
+/// Facility-set churn and client reassignment between consecutive epochs,
+/// in stable-key space.
+struct Recourse {
+  std::int64_t facilities_opened = 0;  ///< open now, not open last epoch
+  std::int64_t facilities_closed = 0;  ///< open last epoch, not open now
+  /// Clients present in both epochs whose assigned facility key changed.
+  std::int64_t clients_reassigned = 0;
+  std::int64_t clients_arrived = 0;
+  std::int64_t clients_departed = 0;
+};
+
+struct EpochReport {
+  fl::EpochId epoch = 0;
+  std::size_t events = 0;  ///< deltas applied by this commit
+  double cost = 0.0;
+  /// Sum of component LP values (pipeline engine only; 0 under mw-greedy).
+  double fractional_value = 0.0;
+  /// Components run disjoint networks, so rounds is the max (depth) and
+  /// messages the sum over components *solved this epoch*; an epoch that
+  /// reused everything reports 0/0.
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::int64_t num_facilities = 0;
+  std::int64_t num_clients = 0;
+  std::int64_t components = 0;
+  std::int64_t solved_components = 0;
+  std::int64_t reused_components = 0;
+  Recourse recourse;
+  double apply_ms = 0.0;  ///< snapshot rebuild (delta-log apply)
+  double solve_ms = 0.0;  ///< component partition + solves + assembly
+  double total_ms = 0.0;
+};
+
+class StreamingSolver {
+ public:
+  /// Solves the initial snapshot immediately (its report is epoch 0 with
+  /// zero events; see `last_report()`).
+  StreamingSolver(fl::InstanceSnapshot initial, StreamingOptions options);
+
+  /// Queues one update for the next epoch.
+  void ingest(fl::Delta delta) { pending_.append(std::move(delta)); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return pending_.size();
+  }
+
+  /// Applies the pending batch as one epoch and re-solves. Valid with an
+  /// empty batch (epoch still advances; everything reuses under warm
+  /// start).
+  EpochReport commit_epoch();
+
+  [[nodiscard]] const fl::InstanceSnapshot& snapshot() const noexcept {
+    return snapshot_;
+  }
+  /// Current solution, dense ids aligned to `snapshot()`.
+  [[nodiscard]] const fl::IntegralSolution& solution() const noexcept {
+    return solution_;
+  }
+  [[nodiscard]] const EpochReport& last_report() const noexcept {
+    return last_report_;
+  }
+  [[nodiscard]] const core::MwSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] const StreamingOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// Cached per-component result, addressed by component key; everything
+  /// inside is in stable-key space so it survives renumbering.
+  struct ComponentEntry {
+    std::uint64_t fingerprint = 0;
+    std::vector<fl::NodeKey> open_facilities;
+    std::vector<std::pair<fl::NodeKey, fl::NodeKey>> assignment;  // (c, f)
+    /// Pipeline engine: the fractional stage's state (value + per-member
+    /// facility y in ascending key order), carried across epochs.
+    double fractional_value = 0.0;
+    std::vector<double> frac_y;
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;
+  };
+
+  struct Component {
+    fl::NodeKey key = fl::kNoKey;
+    std::vector<fl::FacilityId> facilities;  // dense, ascending
+    std::vector<fl::ClientId> clients;       // dense, ascending
+  };
+
+  EpochReport resolve(std::size_t events, double apply_ms,
+                      const std::unordered_set<fl::NodeKey>& touched_f,
+                      const std::unordered_set<fl::NodeKey>& touched_c);
+  ComponentEntry solve_component(const Component& comp,
+                                 std::uint64_t fingerprint) const;
+
+  StreamingOptions options_;
+  core::MwSchedule schedule_;
+  fl::InstanceSnapshot snapshot_;
+  fl::DeltaLog pending_;
+  fl::IntegralSolution solution_;
+  EpochReport last_report_;
+  std::unordered_map<fl::NodeKey, ComponentEntry> cache_;
+  // Previous epoch's key-space state, for recourse.
+  std::vector<fl::NodeKey> prev_open_keys_;  // sorted
+  std::unordered_map<fl::NodeKey, fl::NodeKey> prev_assignment_;
+};
+
+}  // namespace dflp::service

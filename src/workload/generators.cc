@@ -37,12 +37,15 @@ fl::Instance uniform_random(const UniformParams& params, std::uint64_t seed) {
              params.connection_hi >= params.connection_lo);
   Rng rng(seed);
   fl::InstanceBuilder builder;
-  for (std::int32_t i = 0; i < params.num_facilities; ++i)
-    builder.add_facility(
-        rng.uniform_real(params.opening_lo, params.opening_hi));
   const std::int32_t degree =
       std::min(params.client_degree, params.num_facilities);
   DFLP_CHECK(degree >= 1);
+  builder.reserve(params.num_facilities, params.num_clients,
+                  static_cast<std::size_t>(params.num_clients) *
+                      static_cast<std::size_t>(degree));
+  for (std::int32_t i = 0; i < params.num_facilities; ++i)
+    builder.add_facility(
+        rng.uniform_real(params.opening_lo, params.opening_hi));
   for (std::int32_t j = 0; j < params.num_clients; ++j) {
     const fl::ClientId cj = builder.add_client();
     for (std::int32_t i : sample_distinct(params.num_facilities, degree, rng))
@@ -83,6 +86,11 @@ EuclideanInstance euclidean(const EuclideanParams& params,
   };
 
   fl::InstanceBuilder builder;
+  builder.reserve(params.num_facilities, params.num_clients,
+                  params.connect_radius <= 0.0
+                      ? static_cast<std::size_t>(params.num_facilities) *
+                            static_cast<std::size_t>(params.num_clients)
+                      : static_cast<std::size_t>(params.num_clients));
   for (std::int32_t i = 0; i < params.num_facilities; ++i) {
     builder.add_facility(
         rng.uniform_real(params.opening_lo, params.opening_hi));
@@ -128,10 +136,13 @@ fl::Instance power_law_spread(const PowerLawParams& params,
   auto log_uniform = [&]() { return std::exp(rng.uniform01() * log_rho); };
 
   fl::InstanceBuilder builder;
-  for (std::int32_t i = 0; i < params.num_facilities; ++i)
-    builder.add_facility(log_uniform());
   const std::int32_t degree =
       std::min(params.client_degree, params.num_facilities);
+  builder.reserve(params.num_facilities, params.num_clients,
+                  static_cast<std::size_t>(params.num_clients) *
+                      static_cast<std::size_t>(std::max(1, degree)));
+  for (std::int32_t i = 0; i < params.num_facilities; ++i)
+    builder.add_facility(log_uniform());
   for (std::int32_t j = 0; j < params.num_clients; ++j) {
     const fl::ClientId cj = builder.add_client();
     for (std::int32_t i : sample_distinct(params.num_facilities, degree, rng))
@@ -144,6 +155,8 @@ fl::Instance greedy_tight(std::int32_t num_clients, double eps) {
   DFLP_CHECK(num_clients >= 2);
   DFLP_CHECK(eps > 0);
   fl::InstanceBuilder builder;
+  builder.reserve(num_clients + 1, num_clients,
+                  2 * static_cast<std::size_t>(num_clients));
   // Facility j (j < n) covers client j only, at opening cost 1/(n-j);
   // greedy's cost-effectiveness ladder walks these from cheap to dear.
   for (std::int32_t j = 0; j < num_clients; ++j)
@@ -162,6 +175,9 @@ fl::Instance star(std::int32_t num_spokes, std::int32_t clients_per_spoke,
   DFLP_CHECK(num_spokes >= 1 && clients_per_spoke >= 1);
   Rng rng(seed);
   fl::InstanceBuilder builder;
+  builder.reserve(num_spokes + 1, num_spokes * clients_per_spoke,
+                  2 * static_cast<std::size_t>(num_spokes) *
+                      static_cast<std::size_t>(clients_per_spoke));
   const fl::FacilityId hub = builder.add_facility(10.0);
   std::vector<fl::FacilityId> spokes;
   spokes.reserve(static_cast<std::size_t>(num_spokes));

@@ -1,0 +1,252 @@
+// Tests for the epoch-batched streaming solver: warm-started re-solves
+// must be bit-identical to the from-scratch baseline on every epoch, the
+// component decomposition must agree with a whole-instance solve under a
+// pinned schedule, and recourse accounting must be sane.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/mw_greedy.h"
+#include "core/params.h"
+#include "fl/delta.h"
+#include "service/streaming_solver.h"
+#include "workload/stream.h"
+
+namespace dflp::service {
+namespace {
+
+workload::StreamParams small_stream() {
+  workload::StreamParams p;
+  p.num_cells = 12;
+  p.facilities_per_cell = 3;
+  p.initial_clients = 60;
+  p.client_degree = 2;
+  p.arrival_fraction = 0.6;
+  return p;
+}
+
+/// Capacity bounds that dominate the whole stream: costs come from the
+/// generator's fixed ranges, the facility set is static, and the node
+/// count is bounded by initial + every possible arrival.
+core::InstanceBounds stream_bounds(const workload::StreamParams& p,
+                                   std::int64_t total_events) {
+  core::InstanceBounds b;
+  b.max_facilities = p.num_cells * p.facilities_per_cell;
+  b.max_network_nodes = static_cast<std::int32_t>(
+      b.max_facilities + p.initial_clients + total_events);
+  b.min_positive_cost = std::min(p.opening_lo, p.connection_lo);
+  b.max_cost = std::max(p.opening_hi, p.connection_hi);
+  // A cell facility can in principle serve every client ever alive.
+  b.max_facility_degree = static_cast<int>(p.initial_clients + total_events);
+  return b;
+}
+
+StreamingOptions make_options(const workload::StreamParams& p,
+                              std::int64_t total_events, bool warm,
+                              SolveEngine engine) {
+  StreamingOptions opt;
+  opt.params.k = 4;
+  opt.params.seed = 42;
+  opt.bounds = stream_bounds(p, total_events);
+  opt.engine = engine;
+  opt.warm_start = warm;
+  return opt;
+}
+
+void expect_same_state(const StreamingSolver& a, const StreamingSolver& b) {
+  const fl::Instance& inst = a.snapshot().instance();
+  ASSERT_EQ(inst.num_clients(), b.snapshot().instance().num_clients());
+  ASSERT_EQ(inst.num_facilities(),
+            b.snapshot().instance().num_facilities());
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i)
+    EXPECT_EQ(a.solution().is_open(i), b.solution().is_open(i))
+        << "facility " << i;
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j)
+    EXPECT_EQ(a.solution().assignment(j), b.solution().assignment(j))
+        << "client " << j;
+}
+
+void run_warm_vs_cold(SolveEngine engine) {
+  const workload::StreamParams sp = small_stream();
+  constexpr std::int32_t kEpochs = 5;
+  constexpr std::int32_t kEventsPerEpoch = 15;
+  constexpr std::int64_t kTotal = kEpochs * kEventsPerEpoch;
+
+  workload::ClientStream warm_stream(sp, 7);
+  workload::ClientStream cold_stream(sp, 7);
+  StreamingSolver warm(warm_stream.initial_snapshot(),
+                       make_options(sp, kTotal, /*warm=*/true, engine));
+  StreamingSolver cold(cold_stream.initial_snapshot(),
+                       make_options(sp, kTotal, /*warm=*/false, engine));
+
+  // Epoch 0 (the constructor's solve) must already agree.
+  EXPECT_EQ(warm.last_report().cost, cold.last_report().cost);
+  expect_same_state(warm, cold);
+
+  std::int64_t total_reused = 0;
+  for (std::int32_t e = 0; e < kEpochs; ++e) {
+    fl::DeltaLog batch;
+    warm_stream.fill_epoch(kEventsPerEpoch, batch);
+    for (const fl::Delta& d : batch.deltas()) {
+      warm.ingest(d);
+      cold.ingest(d);
+    }
+    const EpochReport wr = warm.commit_epoch();
+    const EpochReport cr = cold.commit_epoch();
+
+    // Identical final solution cost on every epoch — exact, not approx.
+    EXPECT_EQ(wr.cost, cr.cost) << "epoch " << e;
+    EXPECT_EQ(wr.fractional_value, cr.fractional_value) << "epoch " << e;
+    expect_same_state(warm, cold);
+
+    // Identical recourse (same solutions on both sides).
+    EXPECT_EQ(wr.recourse.facilities_opened, cr.recourse.facilities_opened);
+    EXPECT_EQ(wr.recourse.clients_reassigned,
+              cr.recourse.clients_reassigned);
+
+    EXPECT_EQ(cr.reused_components, 0);
+    EXPECT_EQ(cr.solved_components, cr.components);
+    EXPECT_EQ(wr.reused_components + wr.solved_components, wr.components);
+    total_reused += wr.reused_components;
+
+    // The warm run must do strictly less solver work whenever anything is
+    // reused.
+    if (wr.reused_components > 0) {
+      EXPECT_LT(wr.messages, cr.messages) << "epoch " << e;
+    }
+  }
+  // With 12 cells and 15 events per epoch some cells stay untouched.
+  EXPECT_GT(total_reused, 0);
+}
+
+TEST(StreamingSolver, WarmEqualsColdMwGreedy) {
+  run_warm_vs_cold(SolveEngine::kMwGreedy);
+}
+
+TEST(StreamingSolver, WarmEqualsColdPipeline) {
+  run_warm_vs_cold(SolveEngine::kPipeline);
+}
+
+TEST(StreamingSolver, ComponentDecompositionMatchesGlobalSolve) {
+  // Cells are connectivity components, so a whole-instance mw-greedy run
+  // under the same pinned schedule must produce the very same solution the
+  // service assembles from per-component solves (the algorithm is
+  // deterministic and tie-breaks only on relative node order, which the
+  // monotone renumbering preserves).
+  const workload::StreamParams sp = small_stream();
+  workload::ClientStream stream(sp, 11);
+  const StreamingOptions opt =
+      make_options(sp, 0, /*warm=*/true, SolveEngine::kMwGreedy);
+  StreamingSolver service(stream.initial_snapshot(), opt);
+
+  core::MwParams params = opt.params;
+  const core::MwSchedule pinned =
+      core::derive_schedule_from_bounds(opt.bounds, opt.params);
+  params.pinned_schedule = &pinned;
+  const fl::Instance& inst = stream.initial_snapshot().instance();
+  const core::MwGreedyOutcome global = core::run_mw_greedy(inst, params);
+
+  EXPECT_EQ(service.last_report().cost, global.solution.cost(inst));
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i)
+    EXPECT_EQ(service.solution().is_open(i), global.solution.is_open(i));
+  for (fl::ClientId j = 0; j < inst.num_clients(); ++j)
+    EXPECT_EQ(service.solution().assignment(j),
+              global.solution.assignment(j));
+}
+
+TEST(StreamingSolver, EmptyEpochReusesEverything) {
+  const workload::StreamParams sp = small_stream();
+  workload::ClientStream stream(sp, 3);
+  StreamingSolver service(
+      stream.initial_snapshot(),
+      make_options(sp, 0, /*warm=*/true, SolveEngine::kMwGreedy));
+  const double cost0 = service.last_report().cost;
+
+  const EpochReport rep = service.commit_epoch();
+  EXPECT_EQ(rep.epoch, 1);
+  EXPECT_EQ(rep.events, 0u);
+  EXPECT_EQ(rep.solved_components, 0);
+  EXPECT_EQ(rep.reused_components, rep.components);
+  EXPECT_EQ(rep.rounds, 0u);
+  EXPECT_EQ(rep.messages, 0u);
+  EXPECT_EQ(rep.cost, cost0);
+  EXPECT_EQ(rep.recourse.facilities_opened, 0);
+  EXPECT_EQ(rep.recourse.facilities_closed, 0);
+  EXPECT_EQ(rep.recourse.clients_reassigned, 0);
+  EXPECT_EQ(rep.recourse.clients_arrived, 0);
+  EXPECT_EQ(rep.recourse.clients_departed, 0);
+}
+
+TEST(StreamingSolver, RecourseCountsArrivalsAndDepartures) {
+  const workload::StreamParams sp = small_stream();
+  workload::ClientStream stream(sp, 5);
+  StreamingSolver service(
+      stream.initial_snapshot(),
+      make_options(sp, 64, /*warm=*/true, SolveEngine::kMwGreedy));
+
+  // Recourse is a snapshot diff, so an arrive+depart of the same client
+  // inside one epoch cancels; count net membership changes here too.
+  fl::DeltaLog batch;
+  stream.fill_epoch(20, batch);
+  std::set<fl::NodeKey> arrived;
+  std::int64_t departures = 0;
+  for (const fl::Delta& d : batch.deltas()) {
+    if (d.kind == fl::Delta::Kind::kClientArrive) {
+      arrived.insert(d.client);
+    } else if (d.kind == fl::Delta::Kind::kClientDepart) {
+      if (arrived.erase(d.client) == 0) ++departures;
+    }
+    service.ingest(d);
+  }
+  const auto arrivals = static_cast<std::int64_t>(arrived.size());
+  const EpochReport rep = service.commit_epoch();
+  EXPECT_EQ(rep.recourse.clients_arrived, arrivals);
+  EXPECT_EQ(rep.recourse.clients_departed, departures);
+  EXPECT_EQ(rep.num_clients,
+            sp.initial_clients + arrivals - departures);
+}
+
+TEST(StreamingSolver, RejectsUndersizedBounds) {
+  const workload::StreamParams sp = small_stream();
+  workload::ClientStream stream(sp, 1);
+  StreamingOptions opt =
+      make_options(sp, 0, /*warm=*/true, SolveEngine::kMwGreedy);
+  opt.bounds.max_network_nodes = 4;  // way below the initial snapshot
+  EXPECT_THROW(StreamingSolver(stream.initial_snapshot(), std::move(opt)),
+               CheckError);
+}
+
+TEST(DeriveSchedule, PinnedScheduleWinsAndBoundsDominate) {
+  const workload::StreamParams sp = small_stream();
+  workload::ClientStream stream(sp, 9);
+  const fl::Instance& inst = stream.initial_snapshot().instance();
+
+  core::MwParams params;
+  params.k = 4;
+  const core::InstanceBounds bounds = stream_bounds(sp, 100);
+  EXPECT_TRUE(bounds.dominates(core::InstanceBounds::of(inst)));
+
+  const core::MwSchedule from_bounds =
+      core::derive_schedule_from_bounds(bounds, params);
+  params.pinned_schedule = &from_bounds;
+  const core::MwSchedule resolved = core::derive_schedule(inst, params);
+  EXPECT_EQ(resolved.levels, from_bounds.levels);
+  EXPECT_EQ(resolved.bit_budget, from_bounds.bit_budget);
+  EXPECT_EQ(resolved.thresholds, from_bounds.thresholds);
+
+  // Without pinning, the schedule derives from the instance itself and
+  // must match derive_schedule_from_bounds on the instance's own bounds.
+  params.pinned_schedule = nullptr;
+  const core::MwSchedule own = core::derive_schedule(inst, params);
+  const core::MwSchedule own_bounds = core::derive_schedule_from_bounds(
+      core::InstanceBounds::of(inst), params);
+  EXPECT_EQ(own.thresholds, own_bounds.thresholds);
+  EXPECT_EQ(own.y_scale, own_bounds.y_scale);
+  EXPECT_EQ(own.num_network_nodes, own_bounds.num_network_nodes);
+}
+
+}  // namespace
+}  // namespace dflp::service

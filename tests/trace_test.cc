@@ -134,6 +134,50 @@ TEST(TraceGolden, JsonlRoundTripsThroughReader) {
   }
 }
 
+/// Normalized JSONL of the golden run at `num_threads` (parse -> normalize
+/// -> re-emit, the same path `trace_check --normalize` takes).
+std::string normalized_golden_jsonl(int num_threads) {
+  net::Tracer tracer(/*capture_phases=*/true);
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 24, 7);
+  core::MwParams params;
+  params.k = 4;
+  params.seed = 11;
+  params.num_threads = num_threads;
+  params.tracer = &tracer;
+  (void)core::run_mw_greedy(inst, params);
+  std::istringstream in(jsonl_of(tracer));
+  net::ParsedTrace parsed = net::read_trace_jsonl(in);
+  net::normalize_trace(&parsed);
+  std::ostringstream out;
+  net::write_trace_jsonl(parsed, out);
+  return out.str();
+}
+
+TEST(TraceNormalize, StripsTimingsAndIsThreadInvariant) {
+  const std::string serial = normalized_golden_jsonl(1);
+  // No timing survives: every *_s field is exactly 0 and shards are gone.
+  EXPECT_EQ(serial.find("\"shards\":[["), std::string::npos);
+  EXPECT_NE(serial.find("\"step_s\":0,\"commit_s\":0,\"scatter_s\":0"),
+            std::string::npos);
+  // Same run shape at 4 threads: normalized bytes are identical, which is
+  // what lets CI diff a fresh trace against a committed golden regardless
+  // of runner core count.
+  EXPECT_EQ(serial, normalized_golden_jsonl(4));
+  // The normalized form is still schema-valid and normalization is
+  // idempotent through another read -> normalize -> write cycle.
+  std::istringstream in(serial);
+  std::string why;
+  EXPECT_TRUE(net::validate_trace_jsonl(in, &why)) << why;
+  in.clear();
+  in.seekg(0);
+  net::ParsedTrace again = net::read_trace_jsonl(in);
+  net::normalize_trace(&again);
+  std::ostringstream out;
+  net::write_trace_jsonl(again, out);
+  EXPECT_EQ(out.str(), serial);
+}
+
 /// Runs the validator on `text` and returns the diagnostic ("" = valid).
 std::string validate(const std::string& text) {
   std::istringstream in(text);

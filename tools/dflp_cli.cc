@@ -5,6 +5,15 @@
 //   dflp_cli solve    <algo> <instance.ufl|-> [k] [seed]
 //   dflp_cli sweep    <instance.ufl|->  [seed]        # k sweep table
 //   dflp_cli bounds   <instance.ufl|->                # LP / dual bounds
+//   dflp_cli stream   <engine> [k] [seed]             # epoch-batched solver
+//
+// Streaming flags (stream only): `--stream N` sets the total number of
+// arrival/departure events, `--epoch-size M` the events batched per
+// commit_epoch (default N/100), `--cells C` the number of workload cells,
+// `--initial I` the epoch-0 client count, and `--cold` disables warm
+// starting (every component re-solves each epoch — the from-scratch
+// baseline, bit-identical in cost by construction). One table row per
+// epoch, including the recourse columns (opened/closed/reassigned).
 //
 // `--threads N` (anywhere on the line) runs the distributed simulations
 // with an N-thread step phase; results are bit-identical to --threads 1,
@@ -42,7 +51,9 @@
 #include "harness/runner.h"
 #include "lp/dual_ascent.h"
 #include "lp/ufl_lp.h"
+#include "service/streaming_solver.h"
 #include "workload/generators.h"
+#include "workload/stream.h"
 
 namespace {
 
@@ -60,6 +71,12 @@ bool g_reliable = false;         ///< --reliable: wrap in ReliableChannel
 std::string g_trace_path;  ///< --trace <path>: write a round-level trace
 net::TraceFormat g_trace_format = net::TraceFormat::kJsonl;
 bool g_trace_phases = false;  ///< --trace-phases: record phase annotations
+/// Streaming flags (stream subcommand only).
+std::int64_t g_stream_events = 20000;  ///< --stream N: total events
+std::int64_t g_epoch_size = 0;  ///< --epoch-size M (default N/100)
+int g_stream_cells = 64;        ///< --cells C: workload cells
+int g_stream_initial = 1024;    ///< --initial I: epoch-0 clients
+bool g_stream_cold = false;     ///< --cold: disable warm starting
 
 int usage(std::ostream& out = std::cerr, int code = 2) {
   out
@@ -69,6 +86,7 @@ int usage(std::ostream& out = std::cerr, int code = 2) {
          "  dflp_cli solve  <algo> <instance.ufl|-> [k=4] [seed=1]\n"
          "  dflp_cli sweep  <instance.ufl|-> [seed=1]\n"
          "  dflp_cli bounds <instance.ufl|->\n"
+         "  dflp_cli stream <mw-greedy|mw-pipeline> [k=4] [seed=1]\n"
          "options: --threads N    (simulator step-phase threads; results are\n"
          "                         bit-identical for every N)\n"
          "         --drop X       (i.i.d. per-message drop probability)\n"
@@ -82,6 +100,14 @@ int usage(std::ostream& out = std::cerr, int code = 2) {
          "                        (trace exporter; default jsonl)\n"
          "         --trace-phases (record per-node algorithm-phase\n"
          "                         annotations in the trace)\n"
+         "         --stream N     (stream only: total events; default 20000)\n"
+         "         --epoch-size M (stream only: events per epoch;\n"
+         "                         default N/100)\n"
+         "         --cells C      (stream only: workload cells; default 64)\n"
+         "         --initial I    (stream only: epoch-0 clients;\n"
+         "                         default 1024)\n"
+         "         --cold         (stream only: from-scratch baseline,\n"
+         "                         no warm starting)\n"
          "families: uniform euclidean powerlaw greedy-tight star\n"
          "algorithms: mw-greedy mw-pipeline ideal-greedy seq-greedy\n"
          "            jain-vazirani mettu-plaxton jms-greedy local-search\n"
@@ -268,6 +294,60 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+int cmd_stream(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string engine_arg = argv[2];
+  service::SolveEngine engine;
+  if (engine_arg == "mw-greedy") {
+    engine = service::SolveEngine::kMwGreedy;
+  } else if (engine_arg == "mw-pipeline") {
+    engine = service::SolveEngine::kPipeline;
+  } else {
+    std::cerr << "stream engine must be mw-greedy or mw-pipeline\n";
+    return 2;
+  }
+
+  workload::StreamParams sp;
+  sp.num_cells = g_stream_cells;
+  sp.initial_clients = g_stream_initial;
+  const std::int64_t total = g_stream_events;
+  const std::int64_t epoch_size =
+      g_epoch_size > 0 ? g_epoch_size : std::max<std::int64_t>(1, total / 100);
+
+  service::StreamingOptions opt;
+  opt.params.k = argc > 3 ? std::atoi(argv[3]) : 4;
+  opt.params.seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+  opt.params.num_threads = g_threads;
+  opt.bounds = service::stream_bounds(sp, total);
+  opt.engine = engine;
+  opt.warm_start = !g_stream_cold;
+
+  workload::ClientStream stream(sp, opt.params.seed);
+  service::StreamingSolver solver(stream.initial_snapshot(), opt);
+  std::vector<service::EpochReport> reports{solver.last_report()};
+  for (std::int64_t remaining = total; remaining > 0;) {
+    const auto batch_size =
+        static_cast<std::int32_t>(std::min(remaining, epoch_size));
+    fl::DeltaLog batch;
+    stream.fill_epoch(batch_size, batch);
+    for (const fl::Delta& d : batch.deltas()) solver.ingest(d);
+    reports.push_back(solver.commit_epoch());
+    remaining -= batch_size;
+  }
+
+  std::ostringstream subtitle;
+  subtitle << total << " events in epochs of " << epoch_size << ", "
+           << sp.num_cells << " cells, "
+           << (opt.warm_start ? "warm-started" : "from-scratch (--cold)");
+  harness::print_section(
+      "streaming " + service::engine_name(engine) + " (k=" +
+          std::to_string(opt.params.k) + ", seed=" +
+          std::to_string(opt.params.seed) + ")",
+      subtitle.str(), harness::stream_table(reports));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -348,6 +428,50 @@ int main(int argc, char** argv) {
       g_trace_phases = true;
       continue;
     }
+    if (arg == "--stream") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_stream_events = std::atoll(v);
+      if (g_stream_events < 1) {
+        std::cerr << "--stream must be >= 1\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--epoch-size") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_epoch_size = std::atoll(v);
+      if (g_epoch_size < 1) {
+        std::cerr << "--epoch-size must be >= 1\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--cells") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_stream_cells = std::atoi(v);
+      if (g_stream_cells < 1) {
+        std::cerr << "--cells must be >= 1\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--initial") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_stream_initial = std::atoi(v);
+      if (g_stream_initial < 1) {
+        std::cerr << "--initial must be >= 1\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--cold") {
+      g_stream_cold = true;
+      continue;
+    }
     if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
     args.push_back(argv[i]);
   }
@@ -362,6 +486,7 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "bounds") return cmd_bounds(argc, argv);
+    if (cmd == "stream") return cmd_stream(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

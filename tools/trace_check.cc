@@ -1,6 +1,6 @@
 // trace_check — schema validator for dflp round traces.
 //
-//   trace_check <trace.jsonl|->
+//   trace_check [--normalize] <trace.jsonl|->
 //
 // Exit 0 when the input is a valid version-1 JSONL trace
 // (docs/trace-schema.md): header first, known record types, required
@@ -8,6 +8,12 @@
 // the counter identity delivered == sent - dropped + duplicated. Exit 1
 // with the reason on stderr otherwise. CI's trace-smoke job runs this on a
 // fresh `dflp_cli solve --trace` output.
+//
+// With --normalize, a valid trace is additionally re-emitted on stdout in
+// canonical form — wall timings zeroed, step shards dropped, thread counts
+// pinned (netsim/trace.h normalize_trace) — so the deterministic round
+// shape can be diffed against the committed goldens in tests/goldens/
+// (CI's trace-regression job).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,11 +22,23 @@
 #include "netsim/trace.h"
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: trace_check <trace.jsonl|->\n";
+  bool normalize = false;
+  std::string path;
+  bool bad_usage = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--normalize") {
+      normalize = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      bad_usage = true;
+    }
+  }
+  if (path.empty() || bad_usage) {
+    std::cerr << "usage: trace_check [--normalize] <trace.jsonl|->\n";
     return 2;
   }
-  const std::string path = argv[1];
 
   // Buffer the input so the summary pass can re-read it after validation
   // (stdin cannot be rewound).
@@ -43,7 +61,12 @@ int main(int argc, char** argv) {
   }
   buffer.clear();
   buffer.seekg(0);
-  const dflp::net::ParsedTrace trace = dflp::net::read_trace_jsonl(buffer);
+  dflp::net::ParsedTrace trace = dflp::net::read_trace_jsonl(buffer);
+  if (normalize) {
+    dflp::net::normalize_trace(&trace);
+    dflp::net::write_trace_jsonl(trace, std::cout);
+    return 0;
+  }
   std::cout << "trace_check: ok (version " << trace.version << ", "
             << trace.sections.size() << " section(s), " << trace.rounds.size()
             << " round(s))\n";
