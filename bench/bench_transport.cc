@@ -17,7 +17,10 @@
 // Each configuration reports rounds/s and Mmsg/s and everything is written
 // to a machine-readable `BENCH_transport.json` so CI can accumulate a perf
 // trajectory per commit. `--smoke` shrinks the workload for CI; `--out`
-// overrides the JSON path; `--threads K` sets Options::num_threads.
+// overrides the JSON path; `--threads K` sets Options::num_threads;
+// `--phases` attaches a Tracer to every measured run and appends a
+// per-engine-phase wall-time attribution table (step / commit / scatter),
+// the breakdown EXPERIMENTS.md E10 uses to attribute speedups.
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -31,6 +34,7 @@
 
 #include "common/rng.h"
 #include "netsim/network.h"
+#include "netsim/trace.h"
 
 namespace dflp::benchx {
 namespace {
@@ -107,14 +111,20 @@ struct Result {
   double wall_s = 0.0;
   double rounds_per_s = 0.0;
   double mmsgs_per_s = 0.0;
+  // Engine-phase wall-time attribution (seconds summed over the measured
+  // rounds); only populated under --phases.
+  double step_s = 0.0;
+  double commit_s = 0.0;
+  double scatter_s = 0.0;
 };
 
 Network make_network(const std::string& topology, std::size_t n,
-                     int num_threads) {
+                     int num_threads, net::Tracer* tracer) {
   Network::Options o;
   o.bit_budget = 64;
   o.seed = 1;
   o.num_threads = num_threads;
+  o.tracer = tracer;
   Network net(n, o);
 
   Rng topo_rng(0xBE7C417ULL);
@@ -168,9 +178,12 @@ Network make_network(const std::string& topology, std::size_t n,
   return net;
 }
 
-Result run_config(const Config& cfg, int num_threads) {
-  Network net = make_network(cfg.topology, cfg.n, num_threads);
+Result run_config(const Config& cfg, int num_threads, bool phases) {
+  std::unique_ptr<net::Tracer> tracer =
+      phases ? std::make_unique<net::Tracer>() : nullptr;
+  Network net = make_network(cfg.topology, cfg.n, num_threads, tracer.get());
   net.run(3);  // warmup: populates buffers/inboxes to steady-state capacity
+  const std::size_t warmup_rounds = tracer ? tracer->rounds().size() : 0;
   const auto t0 = std::chrono::steady_clock::now();
   const net::NetMetrics m = net.run(cfg.rounds);
   const auto t1 = std::chrono::steady_clock::now();
@@ -183,6 +196,14 @@ Result run_config(const Config& cfg, int num_threads) {
   if (r.wall_s > 0) {
     r.rounds_per_s = static_cast<double>(m.rounds) / r.wall_s;
     r.mmsgs_per_s = static_cast<double>(m.messages) / r.wall_s / 1e6;
+  }
+  if (tracer) {
+    const auto& rounds = tracer->rounds();
+    for (std::size_t i = warmup_rounds; i < rounds.size(); ++i) {
+      r.step_s += rounds[i].step_s;
+      r.commit_s += rounds[i].commit_s;
+      r.scatter_s += rounds[i].scatter_s;
+    }
   }
   return r;
 }
@@ -234,19 +255,22 @@ void write_json(const std::string& path, const std::string& mode,
 
 int main_impl(int argc, char** argv) {
   bool smoke = false;
+  bool phases = false;
   std::string out_path = "BENCH_transport.json";
   int num_threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--phases") {
+      phases = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       num_threads = std::atoi(argv[++i]);
     } else {
       std::cerr << "usage: bench_transport [--smoke] [--out FILE] "
-                   "[--threads K]\n";
+                   "[--threads K] [--phases]\n";
       return 2;
     }
   }
@@ -273,13 +297,28 @@ int main_impl(int argc, char** argv) {
       cfg.n = n;
       cfg.rounds = std::max<std::uint64_t>(
           16, target_messages / std::max<std::uint64_t>(1, est_msgs_per_round));
-      const Result r = run_config(cfg, num_threads);
+      const Result r = run_config(cfg, num_threads, phases);
       results.push_back(r);
       std::cout << "| " << r.cfg.topology << " | " << r.cfg.n << " | "
                 << r.cfg.rounds << " | " << r.messages << " | " << r.wall_s
                 << " | " << r.rounds_per_s << " | " << r.mmsgs_per_s
                 << " |\n";
       std::cout.flush();
+    }
+  }
+  if (phases) {
+    std::cout << "\n## Engine-phase attribution (traced wall seconds)\n\n";
+    std::cout << "| topology | n | step s | commit s | scatter s | step % | "
+                 "commit % | scatter % |\n";
+    std::cout << "|---|---|---|---|---|---|---|---|\n";
+    for (const Result& r : results) {
+      const double total = r.step_s + r.commit_s + r.scatter_s;
+      const double denom = total > 0 ? total : 1.0;
+      std::cout << "| " << r.cfg.topology << " | " << r.cfg.n << " | "
+                << r.step_s << " | " << r.commit_s << " | " << r.scatter_s
+                << " | " << 100.0 * r.step_s / denom << " | "
+                << 100.0 * r.commit_s / denom << " | "
+                << 100.0 * r.scatter_s / denom << " |\n";
     }
   }
   write_json(out_path, smoke ? "smoke" : "full", num_threads, results);

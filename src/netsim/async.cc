@@ -308,11 +308,13 @@ void Synchronizer::execute_round(NodeContext& ctx) {
   if (round_ >= 1) ++base_round_;
 
   // Commit: forward the staged payloads round-tagged, in send-call order
-  // (the staged bits already satisfy the honest minimum; the network adds
-  // and bills the tag overhead on top).
+  // with broadcasts expanded per neighbour (the staged bits already satisfy
+  // the honest minimum; the network adds and bills the tag overhead on top).
   net_->set_outgoing_tag(static_cast<std::int64_t>(round_ + 1));
-  for (const Message& m : buffer_.staged())
-    net_->sink_send(self_, m.dst, m.kind, m.field, m.bits);
+  buffer_.for_each_staged([&](NodeId dst, const WireRecord& rec) {
+    net_->sink_send(self_, dst, rec.kind, rec.field,
+                    static_cast<int>(rec.bits));
+  });
   net_->set_outgoing_tag(0);
 
   if (buffer_.halt_requested()) {

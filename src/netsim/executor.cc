@@ -31,12 +31,13 @@ void ParallelExecutor::worker_loop(std::size_t idx) {
     if (stop_) return;
     seen = epoch_;
     const Shard shard = shards_[idx];
-    const auto* job = job_;
+    const JobFn job = job_;
+    void* const ctx = job_ctx_;
     lk.unlock();
     std::exception_ptr err;
     if (shard.begin < shard.end) {
       try {
-        (*job)(shard.begin, shard.end);
+        job(ctx, shard.begin, shard.end);
       } catch (...) {
         err = std::current_exception();
       }
@@ -47,13 +48,7 @@ void ParallelExecutor::worker_loop(std::size_t idx) {
   }
 }
 
-void ParallelExecutor::for_shards(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (threads_.empty()) {
-    if (n > 0) fn(0, n);
-    return;
-  }
-
+void ParallelExecutor::dispatch(std::size_t n, JobFn invoke, void* ctx) {
   // Partition [0, n) into num_threads contiguous shards; the first (and
   // any remainder) goes to the calling thread, the rest to the workers.
   const auto total = static_cast<std::size_t>(num_threads());
@@ -72,7 +67,8 @@ void ParallelExecutor::for_shards(
       errors_[w] = nullptr;
     }
     DFLP_CHECK(shards_.empty() || shards_.back().end == n);
-    job_ = &fn;
+    job_ = invoke;
+    job_ctx_ = ctx;
     pending_ = static_cast<int>(threads_.size());
     ++epoch_;
   }
@@ -81,7 +77,7 @@ void ParallelExecutor::for_shards(
   std::exception_ptr own_err;
   if (own.begin < own.end) {
     try {
-      fn(own.begin, own.end);
+      invoke(ctx, own.begin, own.end);
     } catch (...) {
       own_err = std::current_exception();
     }
@@ -90,6 +86,7 @@ void ParallelExecutor::for_shards(
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return pending_ == 0; });
   job_ = nullptr;
+  job_ctx_ = nullptr;
   if (own_err) std::rethrow_exception(own_err);
   for (const std::exception_ptr& err : errors_) {
     if (err) std::rethrow_exception(err);

@@ -18,10 +18,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dflp::net {
@@ -39,9 +40,24 @@ class ParallelExecutor {
 
   /// Runs `fn(begin, end)` over contiguous shards covering [0, n) and
   /// blocks until every shard finished. Rethrows the exception of the
-  /// lowest-indexed failing shard, if any.
-  void for_shards(std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+  /// lowest-indexed failing shard, if any. The callable is borrowed for
+  /// the duration of the call through a raw (function pointer, context)
+  /// pair — no std::function, so the per-round dispatch never allocates
+  /// (the steady-state zero-allocation contract in arena_alloc_test.cc
+  /// covers this path).
+  template <typename F>
+  void for_shards(std::size_t n, F&& fn) {
+    if (threads_.empty()) {
+      if (n > 0) fn(0, n);
+      return;
+    }
+    using Fn = std::remove_reference_t<F>;
+    dispatch(n,
+             [](void* ctx, std::size_t begin, std::size_t end) {
+               (*static_cast<Fn*>(ctx))(begin, end);
+             },
+             const_cast<std::remove_const_t<Fn>*>(&fn));
+  }
 
   [[nodiscard]] int num_threads() const noexcept {
     return static_cast<int>(threads_.size()) + 1;
@@ -53,6 +69,11 @@ class ParallelExecutor {
     std::size_t end = 0;
   };
 
+  /// Type-erased shard body: `invoke(ctx, begin, end)` calls the borrowed
+  /// callable. Both stay valid for the duration of the dispatch only.
+  using JobFn = void (*)(void*, std::size_t, std::size_t);
+
+  void dispatch(std::size_t n, JobFn invoke, void* ctx);
   void worker_loop(std::size_t idx);
 
   std::vector<std::thread> threads_;
@@ -60,7 +81,8 @@ class ParallelExecutor {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  JobFn job_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::vector<Shard> shards_;                 ///< per worker, current job
   std::vector<std::exception_ptr> errors_;    ///< per worker, current job
   std::uint64_t epoch_ = 0;

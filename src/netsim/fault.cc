@@ -136,25 +136,24 @@ bool FaultPlan::link_bad(NodeId src, NodeId dst, std::uint64_t round) {
   return state.bad;
 }
 
-FaultPlan::Fate FaultPlan::fate(SenderCoins& coins, const Message& msg,
+FaultPlan::Fate FaultPlan::fate(SenderCoins& coins, NodeId src, NodeId dst,
                                 std::uint64_t round) {
   Fate f;
   // Each hazard draws from its own stream, so enabling one never perturbs
   // another's coin sequence. The i.i.d. coin in particular is drawn exactly
-  // once per staged message whenever drop_probability > 0 — the legacy
+  // once per staged message copy whenever drop_probability > 0 — the legacy
   // stream contract.
   if (options_.drop_probability > 0.0 &&
       coins.iid.bernoulli(options_.drop_probability)) {
     f.dropped = true;
   }
-  if (!f.dropped && partitioned(msg.src, msg.dst, round)) f.dropped = true;
-  if (!f.dropped && options_.burst.enabled() &&
-      link_bad(msg.src, msg.dst, round)) {
+  if (!f.dropped && partitioned(src, dst, round)) f.dropped = true;
+  if (!f.dropped && options_.burst.enabled() && link_bad(src, dst, round)) {
     if (options_.burst.drop_in_bad >= 1.0) {
       f.dropped = true;
     } else {
       Rng rng(derive_stream_seed(plan_seed_ ^ kBurstDropSalt,
-                                 link_key(msg.src, msg.dst), round));
+                                 link_key(src, dst), round));
       if (rng.bernoulli(options_.burst.drop_in_bad)) f.dropped = true;
     }
   }

@@ -143,11 +143,15 @@ class FaultPlan {
   [[nodiscard]] SenderCoins begin_sender(NodeId sender,
                                          std::uint64_t round) const;
 
-  /// Decides the fate of one staged message. `coins` must be the sender's
-  /// streams for this round, and messages must be presented in send order —
-  /// the engine's commit tally guarantees both. Mutates the lazily advanced
-  /// burst chain state, so calls must happen in the (serial) commit phase.
-  [[nodiscard]] Fate fate(SenderCoins& coins, const Message& msg,
+  /// Decides the fate of one staged message copy on the directed link
+  /// src -> dst. `coins` must be the sender's streams for this round, and
+  /// copies must be presented in send order (a broadcast counts one copy
+  /// per neighbour, in adjacency order) — the engine's commit tally
+  /// guarantees both. Only the endpoints matter, so the engine can judge
+  /// packed WireRecords without materializing Messages. Mutates the lazily
+  /// advanced burst chain state, so calls must happen in the (serial)
+  /// commit phase.
+  [[nodiscard]] Fate fate(SenderCoins& coins, NodeId src, NodeId dst,
                           std::uint64_t round);
 
  private:

@@ -11,11 +11,16 @@ int bits_for_value(std::int64_t v) noexcept {
   return 64 - std::countl_zero(mag) + 1;  // +1 sign bit
 }
 
-int min_message_bits(const Message& msg) noexcept {
+int min_payload_bits(const std::array<std::int64_t, 3>& fields) noexcept {
   int bits = 8;  // opcode
-  for (std::int64_t word : msg.field) {
+  for (std::int64_t word : fields) {
     if (word != 0) bits += bits_for_value(word);
   }
+  return bits;
+}
+
+int min_message_bits(const Message& msg) noexcept {
+  int bits = min_payload_bits(msg.field);
   if (msg.has_header) {
     bits += bits_for_value(msg.hdr.seq) + bits_for_value(msg.hdr.ack) +
             bits_for_value(msg.hdr.tag) + TransportHeader::kFlagBits;

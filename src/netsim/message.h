@@ -7,6 +7,22 @@
 // budget or which under-declares relative to its payload magnitudes. This is
 // how the tests assert that the reconstructed algorithms really are CONGEST
 // algorithms rather than LOCAL algorithms in disguise.
+//
+// Two representations
+// -------------------
+// `Message` is the *delivery view*: what a Process reads from its inbox and
+// what the staging sinks validate. It carries the rarely-used reliable
+// transport header inline, which makes it comfortable to program against
+// but heavy to move in bulk (sizeof(Message) is 80 bytes, most of it zeros
+// on ordinary protocol traffic).
+//
+// `WireRecord` is the *transport staging view*: the packed 40-byte record
+// the engine's structure-of-arrays arena stores and scatters. It drops the
+// inline header — framed messages park their TransportHeader in a sparse
+// side table keyed by arena slot (netsim/network.h) — and folds broadcast
+// fan-out into a single flagged record that is expanded over the sender's
+// adjacency at commit time. Records are materialized back into `Message`
+// form only at delivery, one inbox slice at a time.
 #pragma once
 
 #include <array>
@@ -52,11 +68,50 @@ struct Message {
   int bits = 0;
   /// Reliable-transport framing; absent (and free) on ordinary messages.
   bool has_header = false;
+  /// Meaningful ONLY when `has_header` is set. On delivery the transport
+  /// reuses inbox storage across rounds and does not re-zero this field
+  /// for headerless messages, so its bytes are unspecified (and may vary
+  /// with thread count) — never read it without checking `has_header`.
   TransportHeader hdr;
 };
 
+/// Flag bits of WireRecord::flags.
+enum WireFlag : std::uint8_t {
+  /// The record is one staged broadcast: `dst` is kNoNode and the commit
+  /// scatter expands it over the sender's sorted adjacency, one delivered
+  /// copy per neighbour, in adjacency order.
+  kWireBroadcast = 1,
+  /// A TransportHeader for this record lives in the staging log's sparse
+  /// header list (reliable-channel frames only; never set on broadcasts).
+  kWireHasHeader = 2,
+};
+
+/// One staged send in the transport's packed structure-of-arrays wire
+/// format: the hot routing words (`src`, `dst`), the three payload words,
+/// the declared bit size and the opcode — nothing else. Exactly 40 bytes so
+/// a commit pass streams 2x the records per cache line that the 80-byte
+/// `Message` view would allow; the static_assert below keeps it honest.
+struct WireRecord {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;  ///< kNoNode on broadcast records (see WireFlag)
+  std::array<std::int64_t, 3> field{0, 0, 0};
+  std::int32_t bits = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t flags = 0;  ///< WireFlag bits
+};
+static_assert(sizeof(WireRecord) == 40,
+              "WireRecord is the packed staging format; widening it taxes "
+              "every commit pass — check field order before growing it");
+
 /// Number of bits needed to represent |v| plus a sign bit; 1 for v == 0.
 [[nodiscard]] int bits_for_value(std::int64_t v) noexcept;
+
+/// Minimum honest wire size of an unframed payload: opcode (8 bits) plus
+/// the bits of every nonzero payload word. Equals min_message_bits of a
+/// headerless Message with the same fields; the staging sinks and the
+/// reliable channel use it to price WireRecords without building a Message.
+[[nodiscard]] int min_payload_bits(
+    const std::array<std::int64_t, 3>& fields) noexcept;
 
 /// Minimum honest wire size for a message: opcode (8 bits) plus the bits of
 /// every nonzero payload word, plus — for framed messages — the transport

@@ -47,11 +47,17 @@ struct NetMetrics {
   std::uint8_t first_drop_kind = 0;
 
   /// High-water mark of messages resident in the delivery arena at any
-  /// round boundary — the transport's peak buffering requirement.
+  /// round boundary — the transport's peak buffering requirement, counted
+  /// in delivered copies (the SoA arena stores them as 8-byte slots over
+  /// shared staged records, but the logical occupancy is what matters for
+  /// cross-engine comparison).
   std::uint64_t arena_peak_messages = 0;
 
-  /// Total bytes the commit scatter moved through the arena (surviving
-  /// messages × sizeof(Message)); the transport's memory-bandwidth bill.
+  /// Logical delivery volume: surviving messages × sizeof(Message), the
+  /// full 80-byte view a receiver reads. Layout-independent by design so
+  /// the number stays comparable across engine generations — the SoA
+  /// transport physically moves far less (8-byte slots at scatter, one
+  /// 40-byte record gather per delivery).
   std::uint64_t bytes_moved = 0;
 
   /// Human-readable one-line summary.

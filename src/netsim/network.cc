@@ -1,6 +1,7 @@
 #include "netsim/network.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -20,6 +21,19 @@ namespace {
 // seeded execution, so it is frozen. The fault stream salts live with the
 // FaultPlan (netsim/fault.cc).
 constexpr std::uint64_t kShuffleSalt = 0x5AFEC0DE5AFEC0DFULL;
+
+// Prefetch look-ahead distances for the commit/gather streaming loops. The
+// gather chases one pointer per arena slot and the broadcast scatter one
+// cursor per neighbour — both walk long regular sequences whose next
+// addresses are known well in advance, which is exactly the pattern
+// hardware prefetchers miss (the addresses are data-dependent). Values
+// tuned on the storm benchmark; they only hide latency, never change
+// results.
+constexpr std::size_t kGatherPrefetch = 32;
+constexpr std::size_t kScatterPrefetch = 16;
+// Scan-mode gather: one line per neighbour — the stamp carries the first
+// record inline, so there is no dependent second load to chase.
+constexpr std::size_t kScanPrefetch = 8;
 
 }  // namespace
 
@@ -118,7 +132,20 @@ void Network::finalize() {
   Rng seeder(options_.seed);
   for (std::size_t i = 0; i < n; ++i) node_rngs_.push_back(seeder.split(i));
 
-  buffers_.resize(n);
+  // Staging state: one log (and one gather scratch) per possible step
+  // shard, double-buffered by round parity so last round's records stay
+  // addressable while this round stages; one allowance slab slot per
+  // directed CSR edge. All of it is allocated once here and recycled
+  // across rounds and run() calls.
+  const auto num_shards = static_cast<std::size_t>(options_.num_threads);
+  for (auto& set : stage_logs_) {
+    set.resize(num_shards);
+    for (StageLog& log : set) log.dst_count.assign(n, 0);
+  }
+  inbox_scratch_.resize(num_shards);
+  header_scratch_.resize(num_shards);
+  for (auto& set : rec_ranges_) set.assign(n, RecRange{});
+  edge_sends_slab_.assign(adj_.size(), 0);
   slice_begin_.assign(n, 0);
   slice_count_.assign(n, 0);
   dst_count_.assign(n, 0);
@@ -157,6 +184,100 @@ const Process& Network::process(NodeId id) const {
   return *p;
 }
 
+std::span<Message> Network::gather_inbox(std::size_t i,
+                                         std::vector<Message>& scratch) {
+  if (deliver_by_scan_) {
+    // Scan-mode delivery: read each in-neighbour's staged record range
+    // straight out of last round's logs. Sorted adjacency gives ascending
+    // source, record order gives send order — the canonical inbox without
+    // any slot permutation having been built.
+    const std::vector<StageLog>& plogs = *prev_logs_;
+    const std::vector<RecRange>& ranges =
+        rec_ranges_[static_cast<std::size_t>(round_ & 1) ^ 1u];
+    const NodeId self = static_cast<NodeId>(i);
+    const std::span<const NodeId> nbrs = neighbors_unchecked(i);
+    std::size_t count = 0;
+    for (std::size_t idx = 0; idx < nbrs.size(); ++idx) {
+      // One prefetched line per neighbour: the stamp replicates the first
+      // staged record inline, so the common one-record-per-sender case is a
+      // single random read with no dependent stamp -> record chase.
+      if (idx + kScanPrefetch < nbrs.size())
+        __builtin_prefetch(
+            &ranges[static_cast<std::size_t>(nbrs[idx + kScanPrefetch])]);
+      const NodeId u = nbrs[idx];
+      const RecRange& range = ranges[static_cast<std::size_t>(u)];
+      if (range.round + 1 != round_) continue;  // u did not step last round
+      for (std::uint32_t ri = range.lo; ri < range.hi; ++ri) {
+        const WireRecord& rec = ri == range.lo
+                                    ? range.first
+                                    : plogs[range.li].records[ri];
+        if (!(rec.flags & kWireBroadcast) && rec.dst != self) continue;
+        if (count == scratch.size()) scratch.resize(count + 1);
+        Message& m = scratch[count++];
+        m.src = rec.src;
+        m.dst = self;
+        m.kind = rec.kind;
+        m.field = rec.field;
+        m.bits = static_cast<int>(rec.bits);
+        if (rec.flags & kWireHasHeader) {
+          // Rare (reliable-channel frames): headers sit in the log's sparse
+          // side list, ascending by record index.
+          const std::vector<StagedHeader>& headers = plogs[range.li].headers;
+          const auto it = std::lower_bound(
+              headers.begin(), headers.end(), ri,
+              [](const StagedHeader& h, std::uint32_t r) {
+                return h.record < r;
+              });
+          m.has_header = true;
+          m.hdr = it->hdr;
+        } else {
+          // hdr is left untouched: its bytes are only meaningful under
+          // has_header (message.h), and skipping the 32-byte zeroing cuts
+          // the per-delivery write traffic by ~40%.
+          m.has_header = false;
+        }
+      }
+    }
+    return {scratch.data(), count};
+  }
+  const auto count = static_cast<std::size_t>(slice_count_[i]);
+  if (count == 0) return {};
+  // Grown, never shrunk: stale elements past `count` are dead capacity and
+  // the per-round reuse is what keeps steady-state gathers allocation-free.
+  if (scratch.size() < count) scratch.resize(count);
+  const std::size_t begin = slice_begin_[i];
+  const WireRecord* const* perm = arena_.data();
+  const std::size_t perm_size = arena_.size();
+  const NodeId self = static_cast<NodeId>(i);
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t slot = begin + j;
+    if (slot + kGatherPrefetch < perm_size)
+      __builtin_prefetch(perm[slot + kGatherPrefetch]);
+    const WireRecord& rec = *perm[slot];
+    Message& m = scratch[j];
+    m.src = rec.src;
+    m.dst = self;  // resolved: broadcast records carry no destination
+    m.kind = rec.kind;
+    m.field = rec.field;
+    m.bits = static_cast<int>(rec.bits);
+    if (rec.flags & kWireHasHeader) {
+      // Rare (reliable-channel frames only): the header rides in the
+      // sparse slot-keyed side table built by the scatter.
+      const auto it = std::lower_bound(
+          header_slots_.begin(), header_slots_.end(), slot,
+          [](const HeaderSlot& h, std::size_t s) { return h.slot < s; });
+      m.has_header = true;
+      m.hdr = it->hdr;
+    } else {
+      // hdr is left untouched: its bytes are only meaningful under
+      // has_header (message.h), and skipping the 32-byte zeroing cuts the
+      // per-delivery write traffic by ~40%.
+      m.has_header = false;
+    }
+  }
+  return {scratch.data(), count};
+}
+
 void Network::order_inbox(std::span<Message> inbox, NodeId node) const {
   if (inbox.size() <= 1) return;
   switch (options_.delivery) {
@@ -186,10 +307,15 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
     DFLP_CHECK_MSG(processes_[i] != nullptr, "node " << i << " has no process");
   if (!executor_)
     executor_ = std::make_unique<ParallelExecutor>(options_.num_threads);
+  const std::size_t n = processes_.size();
 
+  const bool hazards = fault_plan_.message_hazards();
   RoundBuffer::Limits limits;
   limits.bit_budget = options_.bit_budget;
   limits.max_msgs_per_edge_per_round = options_.max_msgs_per_edge_per_round;
+  // tally_destinations is set per round below: hazard commits re-count per
+  // surviving copy, and rounds predicted to commit in scan mode discard
+  // the histogram unread, so staging skips it in both cases.
 
   // Tracing is a pure observation layer: when no tracer is attached the
   // only cost is the `if (tracer)` test per round, and with one attached
@@ -216,7 +342,12 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
   std::mutex shard_mu;
   std::map<std::string_view, std::uint64_t> phase_counts;
 
-  const bool hazards = fault_plan_.message_hazards();
+  // Shard claim counters, reset per round. Deliberately locals: Network
+  // stays movable (std::atomic is not), and claim order is scrubbed out by
+  // the commit's range_begin sort anyway.
+  std::atomic<std::size_t> log_claim{0};
+  std::atomic<std::size_t> scatter_claim{0};
+
   NetMetrics run_metrics;
   // Merged even when a round throws (protocol failure under fault
   // injection): the fault counters must survive into cumulative_ so the
@@ -268,7 +399,6 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
         ++crash_cursor_;
         if (halted_[i]) continue;  // already halted voluntarily
         halted_[i] = 1;
-        buffers_[i].clear();
         ++run_metrics.crashed;
         any = true;
       }
@@ -287,19 +417,59 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
 
     const std::size_t live_count = live_nodes_.size();
 
-    // Step phase: every live node runs against its private buffer. Shards
-    // only touch per-node state (arena slice, buffer, rng), so any
-    // interleaving produces the same buffers.
+    // This round stages into the log set of its parity; the other set
+    // still backs the arena being consumed (records must stay addressable
+    // until the gather below reads them).
+    std::vector<StageLog>& logs =
+        stage_logs_[static_cast<std::size_t>(round_ & 1)];
+    prev_logs_ = &stage_logs_[static_cast<std::size_t>(round_ & 1) ^ 1u];
+    log_claim.store(0, std::memory_order_relaxed);
+
+    // Histogram prediction: tally at stage time unless the previous commit
+    // chose scan mode (the tally would be discarded unread) or hazards
+    // re-count anyway. A wrong prediction only costs a serial rebuild in
+    // the layout pass, and the prediction is a pure function of the
+    // previous round's totals — identical across thread counts.
+    limits.tally_destinations = !hazards && !deliver_by_scan_;
+
+    // Step phase: every live node gathers its inbox and runs against the
+    // shard's log through a stack-local buffer. Shards only touch per-shard
+    // state (claimed log, scratch, their nodes' rng and allowance slices),
+    // so any interleaving produces the same logs.
     const auto step_range = [&](std::size_t begin, std::size_t end) {
+      if (begin == end) return;
+      const std::size_t li =
+          log_claim.fetch_add(1, std::memory_order_relaxed);
+      StageLog& log = logs[li];
+      log.reset();
+      log.range_begin = begin;
+      std::vector<Message>& scratch = inbox_scratch_[li];
+      std::vector<RecRange>& ranges =
+          rec_ranges_[static_cast<std::size_t>(round_ & 1)];
+      RoundBuffer buffer;
       for (std::size_t k = begin; k < end; ++k) {
         const NodeId id = live_nodes_[k];
         const auto i = static_cast<std::size_t>(id);
-        const std::span<Message> inbox = inbox_slice(i);
+        const std::span<Message> inbox = gather_inbox(i, scratch);
         order_inbox(inbox, id);
         const std::span<const NodeId> nbrs = neighbors_unchecked(i);
-        buffers_[i].begin(id, round_, nbrs, limits);
-        NodeContext ctx(buffers_[i], id, round_, nbrs, node_rngs_[i]);
+        const auto rec_lo = static_cast<std::uint32_t>(log.records.size());
+        buffer.begin(id, round_, nbrs, limits, &log,
+                     {edge_sends_slab_.data() + adj_offset_[i], nbrs.size()});
+        NodeContext ctx(buffer, id, round_, nbrs, node_rngs_[i]);
         processes_[i]->on_round(ctx, std::span<const Message>(inbox));
+        // Stamp where this node's records landed so a scan-mode gather can
+        // find them next round. Each node is stepped by exactly one shard
+        // and the array is parity-split, so no reader or writer races this.
+        RecRange& range = ranges[i];
+        range.round = round_;
+        range.lo = rec_lo;
+        range.hi = static_cast<std::uint32_t>(log.records.size());
+        range.li = static_cast<std::uint32_t>(li);
+        // Replicate the first record into the stamp's tail: the copy reads
+        // a line that is still hot in L1 and saves every scanning neighbour
+        // a dependent random load next round.
+        if (range.hi != rec_lo) range.first = log.records[rec_lo];
       }
     };
     if (tracer) {
@@ -321,64 +491,93 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
       executor_->for_shards(live_count, step_range);
     }
 
-    // Commit, pass 1 — tally: walk the staged buffers in canonical node-id
-    // order, draw fault coins in send order (streams are per
-    // (seed, sender, round), so the outcome is independent of how the step
-    // phase was scheduled), account metrics and count survivors per
-    // destination. Destinations are discovered into next_touched_ so no
-    // later pass scans all N nodes. In the fault-free path the staged
-    // buffers themselves feed the scatter; with drops enabled the kept
-    // messages are packed into the contiguous survivors_ scratch instead,
-    // so the coin stream is consumed exactly once. Halt requests are
-    // collected here too, while the buffer is cache-hot, keeping the halt
-    // pass O(#halts).
+    // Recover the canonical serial order: shards claimed logs in scheduler
+    // order, so sort the claimed set by each log's live-range begin.
+    const std::size_t num_logs = log_claim.load(std::memory_order_relaxed);
+    log_order_.clear();
+    for (std::size_t li = 0; li < num_logs; ++li) log_order_.push_back(li);
+    std::sort(log_order_.begin(), log_order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                return logs[a].range_begin < logs[b].range_begin;
+              });
+
+    // Commit, pass 1 — tally. Fault-free rounds reduce to a merge of the
+    // per-log aggregates and stage-time histograms: O(logs + touched
+    // destinations), never per message — the batched accounting staging
+    // already did. Rounds with message hazards walk the records in
+    // canonical order instead, drawing the per-(seed, sender, round) fault
+    // coins in send order (broadcasts expand here, one coin per copy in
+    // adjacency order — the legacy per-copy stream) and packing survivors
+    // into the contiguous survivors_ scratch so the coins are consumed
+    // exactly once. Halt requests and traced annotations drain from the
+    // logs either way, keeping the halt pass O(#halts).
     std::uint64_t sent_this_round = 0;
     std::uint64_t bits_acc = 0;
+    std::uint64_t scan_cost = 0;
     int max_bits = 0;  // round-local; merged into run_metrics after tally
     survivors_.clear();
     halt_requests_.clear();
     transport_touches_ += live_nodes_.size();
-    for (NodeId sender : live_nodes_) {
-      const auto i = static_cast<std::size_t>(sender);
-      const std::span<const Message> staged = buffers_[i].staged();
-      sent_this_round += staged.size();
-      if (buffers_[i].halt_requested()) halt_requests_.push_back(sender);
+    for (const std::size_t li : log_order_) {
+      StageLog& log = logs[li];
+      sent_this_round += log.messages;
+      for (const NodeId v : log.halts) halt_requests_.push_back(v);
       if (limits.capture_annotations) {
-        for (const std::string_view phase : buffers_[i].annotations())
+        for (const std::string_view phase : log.annotations)
           ++phase_counts[phase];
       }
-      if (staged.empty()) continue;
-      if (hazards) {
-        FaultPlan::SenderCoins coins =
-            fault_plan_.begin_sender(sender, round_);
-        for (const Message& msg : staged) {
-          const FaultPlan::Fate fate = fault_plan_.fate(coins, msg, round_);
+      if (!hazards) {
+        bits_acc += log.bits_sum;
+        max_bits = std::max(max_bits, log.max_bits);
+        scan_cost += log.scan_cost;
+        continue;
+      }
+      FaultPlan::SenderCoins coins;
+      NodeId coin_sender = kNoNode;
+      std::size_t hcur = 0;  // cursor into the log's sparse header list
+      for (std::size_t ri = 0; ri < log.records.size(); ++ri) {
+        const WireRecord& rec = log.records[ri];
+        if (rec.src != coin_sender) {
+          // Records are contiguous per sender (each node stages into one
+          // log), so this opens the coin streams exactly once per sender
+          // that staged anything — the legacy begin_sender cadence.
+          coin_sender = rec.src;
+          coins = fault_plan_.begin_sender(coin_sender, round_);
+        }
+        const TransportHeader* hdr = nullptr;
+        if (rec.flags & kWireHasHeader) {
+          while (log.headers[hcur].record != ri) ++hcur;
+          hdr = &log.headers[hcur].hdr;
+        }
+        const auto deliver_copy = [&](NodeId to) {
+          const FaultPlan::Fate fate =
+              fault_plan_.fate(coins, rec.src, to, round_);
           if (fate.dropped) {
             if (run_metrics.dropped == 0 && cumulative_.dropped == 0) {
               run_metrics.first_drop_round = round_;
-              run_metrics.first_drop_src = msg.src;
-              run_metrics.first_drop_dst = msg.dst;
-              run_metrics.first_drop_kind = msg.kind;
+              run_metrics.first_drop_src = rec.src;
+              run_metrics.first_drop_dst = to;
+              run_metrics.first_drop_kind = rec.kind;
             }
             ++run_metrics.dropped;
-            continue;
+            return;
           }
           const int copies = fate.duplicated ? 2 : 1;
           if (fate.duplicated) ++run_metrics.duplicated;
           for (int c = 0; c < copies; ++c) {
-            bits_acc += static_cast<std::uint64_t>(msg.bits);
-            max_bits = std::max(max_bits, msg.bits);
-            const auto dst = static_cast<std::size_t>(msg.dst);
-            if (dst_count_[dst]++ == 0) next_touched_.push_back(msg.dst);
-            survivors_.push_back(msg);
+            bits_acc += static_cast<std::uint64_t>(rec.bits);
+            max_bits = std::max(max_bits, static_cast<int>(rec.bits));
+            const auto dst = static_cast<std::size_t>(to);
+            if (dst_count_[dst]++ == 0) next_touched_.push_back(to);
+            survivors_.push_back({&rec, hdr, to});
           }
-        }
-      } else {
-        for (const Message& msg : staged) {
-          bits_acc += static_cast<std::uint64_t>(msg.bits);
-          max_bits = std::max(max_bits, msg.bits);
-          const auto dst = static_cast<std::size_t>(msg.dst);
-          if (dst_count_[dst]++ == 0) next_touched_.push_back(msg.dst);
+        };
+        if (rec.flags & kWireBroadcast) {
+          for (const NodeId nb :
+               neighbors_unchecked(static_cast<std::size_t>(rec.src)))
+            deliver_copy(nb);
+        } else {
+          deliver_copy(rec.dst);
         }
       }
     }
@@ -389,75 +588,195 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
     run_metrics.max_message_bits =
         std::max(run_metrics.max_message_bits, max_bits);
 
-    // Commit, pass 2 — layout: the step phase consumed the old arena, so
-    // retire its slices and prefix-sum the tally into the new ones. Only
-    // touched destinations are visited; dst_count_ returns to all-zero.
-    for (NodeId d : touched_) slice_count_[static_cast<std::size_t>(d)] = 0;
-    touched_.swap(next_touched_);
-    next_touched_.clear();
-    std::size_t offset = 0;
-    for (NodeId d : touched_) {
-      const auto dst = static_cast<std::size_t>(d);
-      slice_begin_[dst] = offset;
-      slice_count_[dst] = dst_count_[dst];
-      dst_cursor_[dst] = offset;
-      offset += static_cast<std::size_t>(dst_count_[dst]);
-      dst_count_[dst] = 0;
-      ++transport_touches_;
-    }
-    next_arena_.resize(offset);
-    if (tracer) t_commit1 = TraceClock::now();
-
-    // Commit, pass 3 — scatter survivors into their slices. The source is
-    // read in canonical order (ascending sender, ties in send-call order),
-    // so every slice fills in exactly that order. Sharded over destination
-    // id ranges: each shard scans the whole survivor stream but writes
-    // only the destinations it owns, so no two shards touch the same
-    // cursor or arena cell. Fault-free rounds scatter straight from the
-    // staged buffers; rounds with drops read the pre-filtered survivors_
-    // scratch so the fault coins are not re-drawn.
-    if (survivors > 0) {
-      if (hazards) {
-        executor_->for_shards(
-            processes_.size(), [&](std::size_t d_lo, std::size_t d_hi) {
-              for (const Message& msg : survivors_) {
-                const auto dst = static_cast<std::size_t>(msg.dst);
-                if (dst < d_lo || dst >= d_hi) continue;
-                next_arena_[dst_cursor_[dst]++] = msg;
-              }
-            });
-      } else {
-        executor_->for_shards(
-            processes_.size(), [&](std::size_t d_lo, std::size_t d_hi) {
-              for (NodeId sender : live_nodes_) {
-                const auto i = static_cast<std::size_t>(sender);
-                for (const Message& msg : buffers_[i].staged()) {
-                  const auto dst = static_cast<std::size_t>(msg.dst);
-                  if (dst < d_lo || dst >= d_hi) continue;
-                  next_arena_[dst_cursor_[dst]++] = msg;
-                }
-              }
-            });
+    // Delivery-mode gate (see network.h): fault-free rounds whose
+    // neighbour-scan cost is within 2x the survivor count skip the layout
+    // and scatter passes — next round's gathers read the records straight
+    // from the logs via the RecRange stamps. Both sides of the comparison
+    // are round totals, so the choice is thread-count invariant.
+    const bool scan_mode = !hazards && scan_cost <= 2 * survivors;
+    deliver_by_scan_ = scan_mode;
+    if (scan_mode && limits.tally_destinations) {
+      // Staged under an arena-mode prediction that did not hold: the
+      // histograms go unread; rezero them (O(touched)) for the next claim.
+      for (const std::size_t li : log_order_) {
+        StageLog& log = logs[li];
+        for (const NodeId d : log.touched)
+          log.dst_count[static_cast<std::size_t>(d)] = 0;
+        log.touched.clear();
       }
     }
-    arena_.swap(next_arena_);
+    if (!scan_mode && !hazards) {
+      if (limits.tally_destinations) {
+        // Merge the per-log destination histograms staging already counted
+        // (O(logs + touched dsts), not O(messages)), draining each log's
+        // copy back to all-zero.
+        for (const std::size_t li : log_order_) {
+          StageLog& log = logs[li];
+          for (const NodeId d : log.touched) {
+            const auto dst = static_cast<std::size_t>(d);
+            if (dst_count_[dst] == 0) next_touched_.push_back(d);
+            dst_count_[dst] += log.dst_count[dst];
+            log.dst_count[dst] = 0;
+          }
+          log.touched.clear();
+        }
+      } else {
+        // Staged under a scan-mode prediction that did not hold (the
+        // traffic mix shifted): rebuild the histogram from the records,
+        // serially — a transition round, not the steady state.
+        for (const std::size_t li : log_order_) {
+          for (const WireRecord& rec : logs[li].records) {
+            if (rec.flags & kWireBroadcast) {
+              for (const NodeId nb :
+                   neighbors_unchecked(static_cast<std::size_t>(rec.src))) {
+                if (dst_count_[static_cast<std::size_t>(nb)]++ == 0)
+                  next_touched_.push_back(nb);
+              }
+            } else {
+              if (dst_count_[static_cast<std::size_t>(rec.dst)]++ == 0)
+                next_touched_.push_back(rec.dst);
+            }
+          }
+        }
+      }
+    }
+
+    // Commit, pass 2 — layout (arena mode only): the step phase consumed
+    // the old arena, so retire its slices and prefix-sum the tally into the
+    // new ones. dst_count_ returns to all-zero. Sparse rounds visit only
+    // the touched list; dense rounds (survivors >= N/8, a deterministic,
+    // thread-invariant gate that keeps the pass O(live + messages)) rebuild
+    // the touched list by one ascending scan of the count column instead —
+    // branch-predictable, auto-vectorizable, and it lays slices out in
+    // ascending destination order, which the scatter and gather then walk
+    // monotonically. Scan-mode rounds leave the retired slices in place;
+    // the next arena-mode round retires them then (touched_ still lists
+    // them — scan rounds never touch it).
+    std::size_t offset = 0;
+    if (!scan_mode) {
+      for (const NodeId d : touched_)
+        slice_count_[static_cast<std::size_t>(d)] = 0;
+      touched_.swap(next_touched_);
+      next_touched_.clear();
+      if (!touched_.empty() && survivors >= n / 8) {
+        touched_.clear();
+        for (std::size_t dst = 0; dst < n; ++dst) {
+          if (dst_count_[dst] == 0) continue;
+          touched_.push_back(static_cast<NodeId>(dst));
+          slice_begin_[dst] = offset;
+          slice_count_[dst] = dst_count_[dst];
+          dst_cursor_[dst] = offset;
+          offset += static_cast<std::size_t>(dst_count_[dst]);
+          dst_count_[dst] = 0;
+          ++transport_touches_;
+        }
+      } else {
+        for (const NodeId d : touched_) {
+          const auto dst = static_cast<std::size_t>(d);
+          slice_begin_[dst] = offset;
+          slice_count_[dst] = dst_count_[dst];
+          dst_cursor_[dst] = offset;
+          offset += static_cast<std::size_t>(dst_count_[dst]);
+          dst_count_[dst] = 0;
+          ++transport_touches_;
+        }
+      }
+      next_arena_.resize(offset);
+    }
+    if (tracer) t_commit1 = TraceClock::now();
+
+    // Commit, pass 3 — scatter: write each surviving record's address into
+    // its destination slice (8-byte slots — the payload columns never
+    // move), expanding broadcast records over the sender's adjacency.
+    // Sharded over destination id ranges: each shard scans the whole
+    // record stream in canonical order but writes only the destinations it
+    // owns, so no two shards touch the same cursor or arena cell, and
+    // every slice fills in ascending-sender order with ties in send-call
+    // order. Headers of framed records are collected per shard with their
+    // assigned slots and merged into the sorted side table afterwards
+    // (empty on protocol-only traffic). Rounds with drops read the
+    // pre-filtered survivors_ scratch so the fault coins are not re-drawn.
+    scatter_claim.store(0, std::memory_order_relaxed);
+    if (!scan_mode) header_slots_.clear();
+    if (!scan_mode && survivors > 0) {
+      const auto scatter_range = [&](std::size_t d_lo, std::size_t d_hi) {
+        if (d_lo == d_hi) return;
+        const std::size_t si =
+            scatter_claim.fetch_add(1, std::memory_order_relaxed);
+        std::vector<HeaderSlot>& hout = header_scratch_[si];
+        hout.clear();
+        if (hazards) {
+          for (const Survivor& s : survivors_) {
+            const auto dst = static_cast<std::size_t>(s.dst);
+            if (dst < d_lo || dst >= d_hi) continue;
+            const std::size_t slot = dst_cursor_[dst]++;
+            next_arena_[slot] = s.rec;
+            if (s.hdr != nullptr) hout.push_back({slot, *s.hdr});
+          }
+          return;
+        }
+        for (const std::size_t li : log_order_) {
+          const StageLog& log = logs[li];
+          std::size_t hcur = 0;
+          for (std::size_t ri = 0; ri < log.records.size(); ++ri) {
+            const WireRecord& rec = log.records[ri];
+            if (rec.flags & kWireBroadcast) {
+              const std::span<const NodeId> nbrs =
+                  neighbors_unchecked(static_cast<std::size_t>(rec.src));
+              for (std::size_t j = 0; j < nbrs.size(); ++j) {
+                if (j + kScatterPrefetch < nbrs.size())
+                  __builtin_prefetch(&dst_cursor_[static_cast<std::size_t>(
+                      nbrs[j + kScatterPrefetch])]);
+                const auto dst = static_cast<std::size_t>(nbrs[j]);
+                if (dst < d_lo || dst >= d_hi) continue;
+                next_arena_[dst_cursor_[dst]++] = &rec;
+              }
+              continue;
+            }
+            const auto dst = static_cast<std::size_t>(rec.dst);
+            const bool owned = dst >= d_lo && dst < d_hi;
+            if (rec.flags & kWireHasHeader) {
+              while (log.headers[hcur].record != ri) ++hcur;
+              if (owned) {
+                const std::size_t slot = dst_cursor_[dst]++;
+                next_arena_[slot] = &rec;
+                hout.push_back({slot, log.headers[hcur].hdr});
+              }
+              continue;
+            }
+            if (owned) next_arena_[dst_cursor_[dst]++] = &rec;
+          }
+        }
+      };
+      executor_->for_shards(n, scatter_range);
+      const std::size_t num_scatter =
+          scatter_claim.load(std::memory_order_relaxed);
+      for (std::size_t si = 0; si < num_scatter; ++si) {
+        header_slots_.insert(header_slots_.end(), header_scratch_[si].begin(),
+                             header_scratch_[si].end());
+      }
+      std::sort(header_slots_.begin(), header_slots_.end(),
+                [](const HeaderSlot& a, const HeaderSlot& b) {
+                  return a.slot < b.slot;
+                });
+    }
+    if (!scan_mode) arena_.swap(next_arena_);
     inflight_messages_ = survivors;
     if (tracer) t_scatter1 = TraceClock::now();
+    // Logical delivery volume: survivors times the full 80-byte Message
+    // view a receiver reads — a layout-independent constant, kept
+    // comparable across engine generations (the SoA transport physically
+    // moves 8-byte slots plus one gather per delivery).
     run_metrics.bytes_moved += survivors * sizeof(Message);
     run_metrics.arena_peak_messages =
         std::max(run_metrics.arena_peak_messages, survivors);
 
     // Commit, pass 4 — halts: apply the requests collected in pass 1 and
-    // compact the live list. Only halting nodes need their buffer dropped
-    // here (they are never stepped again); every surviving node's buffer
-    // is re-armed by begin() at the start of its next step, so this pass
-    // is O(#halts), not O(live).
+    // compact the live list. Staged state lives in the logs (reset when
+    // next claimed), so this pass is O(#halts), not O(live).
     if (!halt_requests_.empty()) {
-      for (NodeId v : halt_requests_) {
-        const auto i = static_cast<std::size_t>(v);
-        halted_[i] = 1;
-        buffers_[i].clear();
-      }
+      for (const NodeId v : halt_requests_)
+        halted_[static_cast<std::size_t>(v)] = 1;
       std::erase_if(live_nodes_, [&](NodeId v) {
         return halted_[static_cast<std::size_t>(v)] != 0;
       });

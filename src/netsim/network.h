@@ -14,39 +14,77 @@
 // Step/commit architecture
 // ------------------------
 // Each round runs in two phases. The *step* phase invokes every live node,
-// which writes its sends and halt request into a private per-node
-// `RoundBuffer` (netsim/round_buffer.h) — nodes share no mutable transport
-// state, so the step phase is executed over contiguous shards of the live
-// list by a `ParallelExecutor` (netsim/executor.h) with
-// `Options::num_threads` threads (default 1). The *commit* phase then
-// delivers the staged sends by counting sort into a flat message arena
-// (below): fault injection is applied and metrics are accounted in
-// canonical node-id order, then surviving messages are scattered into next
-// round's arena.
+// which writes its sends and halt request through a `RoundBuffer`
+// (netsim/round_buffer.h) into its shard's private `StageLog` — shards of
+// distinct workers share no mutable transport state, so the step phase is
+// executed over contiguous shards of the live list by a `ParallelExecutor`
+// (netsim/executor.h) with `Options::num_threads` threads (default 1). The
+// *commit* phase then delivers the staged sends by counting sort into the
+// structure-of-arrays arena (below): fault injection is applied and metrics
+// are accounted in canonical node-id order, then surviving records are
+// scattered into next round's arena.
 //
-// Flat-arena transport
-// --------------------
-// Inboxes are not per-node vectors but disjoint slices of one contiguous,
-// double-buffered `std::vector<Message>` arena laid out CSR-style. The
-// commit phase runs three passes:
-//   1. *tally* (serial, canonical sender order): draw the fault coin for
-//      every staged message, account metrics, and count survivors per
-//      destination;
+// Structure-of-arrays arena
+// -------------------------
+// The transport never moves 80-byte `Message` objects in bulk. Staging
+// stores packed 40-byte `WireRecord`s (netsim/message.h) contiguously per
+// step shard in a `StageLog`; a broadcast stages ONE flagged record, not
+// `degree` copies, and its per-edge CONGEST bill (allowance, message count,
+// bit sum) is settled analytically at stage time — batched per edge, not
+// per copy. The rare TransportHeader of reliable-channel frames lives in a
+// sparse side list keyed by record index, so ordinary traffic never pays
+// for it. The delivery arena itself is a double-buffered permutation of
+// *slots* — `const WireRecord*` entries laid out CSR-style as disjoint
+// per-destination slices — and the commit phase runs column-wise passes:
+//   1. *tally/merge* (serial, canonical shard order): fault-free rounds sum
+//      the per-log message/bit aggregates and merge the per-log destination
+//      histograms that staging already counted (O(logs + touched dsts), not
+//      O(messages)); rounds with message hazards instead walk the records
+//      in canonical order, drawing the per-(seed, sender, round) fault
+//      coins in send order — broadcasts expand here, one coin per copy in
+//      adjacency order, exactly the legacy per-copy stream;
 //   2. *layout*: retire the consumed arena's slices and prefix-sum the new
-//      counts into (begin, count) slices — only destinations that received
-//      messages are touched, via an explicit touched-destination list;
-//   3. *scatter*: copy surviving messages into their slices. Each
+//      counts into (begin, count) slices. Sparse rounds visit only the
+//      first-touch list of destinations; dense rounds (survivors >= N/8)
+//      switch to one ascending scan of the count column — still O(live +
+//      messages) by the gate, and ascending slice order is friendlier to
+//      the scatter;
+//   3. *scatter*: write each surviving record's address into its slice,
+//      expanding broadcast records over the sender's adjacency. Each
 //      destination's cursor is private to the node-id shard that owns it,
 //      so the scatter runs on the same `ParallelExecutor` as the step
-//      phase; every shard scans the staged buffers in canonical order, so
-//      each slice is filled in ascending-sender order with ties in
-//      send-call order — exactly the order the old per-node mailboxes
-//      accumulated, and already the canonical `kBySource` delivery order,
-//      so `kBySource` needs no per-inbox sort at all.
+//      phase; shards scan the logs in canonical order, so each slice fills
+//      in ascending-sender order with ties in send-call order — exactly the
+//      order the old per-node mailboxes accumulated, and already the
+//      canonical `kBySource` delivery order, so `kBySource` needs no
+//      per-inbox sort at all.
+// At delivery the next step phase *gathers*: each node's slot slice is
+// materialized into a per-shard `Message` scratch (the only place the wide
+// view is built), ordered per `DeliveryOrder`, and handed to the process.
+//
+// Broadcast-heavy fault-free rounds skip the layout and scatter passes
+// entirely: when the *neighbour-scan cost* — every staged record read once
+// per neighbour of its sender, tracked per log as `StageLog::scan_cost` —
+// is within 2x the survivor count, the commit only merges the aggregate
+// counters and flips the round into scan mode. The next gather then walks
+// each node's in-neighbours (sorted adjacency = ascending source, the
+// canonical order) and reads their staged record ranges (`RecRange`,
+// stamped per node by the step phase) straight out of the logs, keeping
+// broadcast records folded end to end: a degree-d broadcast costs one
+// 40-byte record write at stage time and d reads at gather time, with no
+// per-copy slot ever written. The gate is a pure function of round totals,
+// so the mode choice — like everything else — is thread-count invariant;
+// unicast-dominated rounds (where scanning would over-read) keep the
+// counting-sort arena path above.
 // Per-round transport work is O(live nodes + messages), never O(N): the
 // engine iterates an explicit live-node list (halted nodes are compacted
 // out), and quiescence is an O(1) check of the maintained live/in-flight
 // counters rather than a scan.
+//
+// Recycling: the logs, the slot permutations, the scratch vectors and the
+// per-edge allowance slab all retain capacity across rounds and across
+// run() calls, so steady-state commits allocate nothing
+// (tests/arena_alloc_test.cc pins this).
 //
 // Determinism
 // -----------
@@ -102,13 +140,65 @@ namespace dflp::net {
 
 class Network;
 class ParallelExecutor;
-class RoundBuffer;
 class Tracer;
 
+/// One TransportHeader parked in a staging log's sparse side list, keyed by
+/// the index of its record within the log (ascending). Only reliable-channel
+/// frames produce entries; protocol-only runs never touch the list.
+struct StagedHeader {
+  std::uint32_t record = 0;  ///< index into StageLog::records
+  TransportHeader hdr;
+};
+
+/// Contiguous staging log filled by one step shard per round: every live
+/// node of the shard appends its sends (as packed WireRecords), halts and
+/// phase annotations here through its RoundBuffer. Records are grouped per
+/// sender in ascending live-list order with ties in send-call order, which
+/// is exactly the canonical order the commit phase consumes. The engine
+/// double-buffers two log sets by round parity so last round's records stay
+/// addressable (the delivery arena points into them) while this round
+/// stages. All vectors retain capacity across rounds.
+struct StageLog {
+  std::vector<WireRecord> records;
+  std::vector<StagedHeader> headers;  ///< sparse, ascending record index
+  std::vector<NodeId> halts;          ///< nodes that requested a halt
+  std::vector<std::string_view> annotations;  ///< traced phase labels
+
+  // Stage-time destination histogram, maintained only under
+  // RoundBuffer::Limits::tally_destinations (the engine's fault-free
+  // commit merges it; hazard commits re-count per surviving copy).
+  // dst_count is sized to the node count by the engine and kept all-zero
+  // between commits; touched lists its nonzero entries in first-touch
+  // order. Standalone logs (synchronizer, reliable channel) leave both
+  // empty.
+  std::vector<std::int32_t> dst_count;
+  std::vector<NodeId> touched;
+
+  // Batched CONGEST accounting, summed analytically at stage time (a
+  // broadcast adds degree * bits in O(1)).
+  std::uint64_t messages = 0;  ///< staged sends incl. broadcast fan-out
+  std::uint64_t bits_sum = 0;  ///< declared bits over all staged sends
+  int max_bits = 0;            ///< largest staged declared size
+  /// Cost of delivering this log by neighbour scan instead of by scatter:
+  /// every record is read once by each of its sender's neighbours, so each
+  /// staged record adds degree(sender). The commit compares the summed cost
+  /// against the survivor count to pick the round's delivery mode.
+  std::uint64_t scan_cost = 0;
+
+  /// Live-list begin of the shard that claimed this log — the commit phase
+  /// orders claimed logs by it to recover the canonical serial order.
+  std::size_t range_begin = 0;
+
+  /// Clears contents for reuse, retaining capacity. O(touched), not O(N):
+  /// only the histogram entries listed in `touched` are rezeroed.
+  void reset() noexcept;
+};
+
 /// Transport abstraction NodeContext delegates to. The synchronous Network
-/// hands each node a private RoundBuffer implementing it; the
-/// alpha-synchronizer (netsim/async.h) stages its wrapped protocol's sends
-/// the same way, so the *same* Process code runs in both worlds.
+/// hands each stepped node a RoundBuffer implementing it (writing into the
+/// shard's StageLog); the alpha-synchronizer (netsim/async.h) stages its
+/// wrapped protocol's sends the same way, so the *same* Process code runs
+/// in both worlds.
 class MessageSink {
  public:
   virtual ~MessageSink() = default;
@@ -253,7 +343,7 @@ class Network final {
   /// Freezes the topology (builds adjacency), validates the options
   /// (budget, allowance, threads, fault plan — throwing CheckError with the
   /// offending value), binds the fault plan, derives per-node RNGs and
-  /// allocates the per-node round buffers.
+  /// allocates the per-shard staging logs and arena slabs.
   /// Must be called exactly once, before set_process()/run().
   void finalize();
 
@@ -309,13 +399,13 @@ class Network final {
             static_cast<std::size_t>(adj_offset_[i + 1] - adj_offset_[i])};
   }
 
-  /// Node i's mutable slice of the delivery arena (empty when no messages
-  /// arrived; the begin offset is stale then and must not be dereferenced).
-  [[nodiscard]] std::span<Message> inbox_slice(std::size_t i) noexcept {
-    const auto count = static_cast<std::size_t>(slice_count_[i]);
-    if (count == 0) return {};
-    return {arena_.data() + slice_begin_[i], count};
-  }
+  /// Materializes node i's inbox: gathers the WireRecords addressed by its
+  /// slot slice of the permutation arena into `scratch` (grown as needed,
+  /// never shrunk — the wide Message view exists only here) and returns the
+  /// filled span. Framed slots pull their TransportHeader from the sparse
+  /// header_slots_ table.
+  [[nodiscard]] std::span<Message> gather_inbox(std::size_t i,
+                                                std::vector<Message>& scratch);
 
   void order_inbox(std::span<Message> inbox, NodeId node) const;
 
@@ -331,27 +421,85 @@ class Network final {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> node_rngs_;
   std::vector<std::uint8_t> halted_;
-  std::vector<RoundBuffer> buffers_;
 
-  // Double-buffered flat delivery arena: arena_ holds round r's inbound
-  // messages as disjoint per-destination slices (slice_begin_/slice_count_,
-  // valid for the destinations listed in touched_); the commit scatter
-  // fills next_arena_ and the two swap each round. dst_count_ is the
-  // counting-sort tally (all-zero between commits), dst_cursor_ the
-  // per-destination scatter cursors. When fault injection is active,
-  // survivors_ collects the messages that passed their coin flip, in
-  // canonical send order, so the scatter reads one contiguous array and
-  // the coins are drawn exactly once; fault-free rounds scatter straight
-  // from the staged buffers and leave survivors_ empty.
-  std::vector<Message> arena_;
-  std::vector<Message> next_arena_;
-  std::vector<Message> survivors_;
+  // A TransportHeader resident in the delivery arena, keyed by arena slot
+  // (sorted ascending; binary-searched by the gather, and only when a slot
+  // is flagged kWireHasHeader — protocol-only runs keep the table empty).
+  struct HeaderSlot {
+    std::size_t slot = 0;
+    TransportHeader hdr;
+  };
+
+  // One record that survived its fault coins, with its resolved concrete
+  // destination (broadcasts are expanded by the hazard tally) and its
+  // header, if any. Points into the round's staging logs.
+  struct Survivor {
+    const WireRecord* rec = nullptr;
+    const TransportHeader* hdr = nullptr;
+    NodeId dst = kNoNode;
+  };
+
+  // Where one node's staged records live: (log, record range) within the
+  // round's log set, written by the owning step shard right after the node
+  // runs. `round` stamps the range so neighbour-scan gathers skip nodes
+  // that did not step last round (halted, crashed, or never stamped);
+  // double-buffered by round parity like the logs themselves, so this
+  // round's writers never race last round's readers. The sender's first
+  // record is replicated inline and the struct is cache-line aligned, so
+  // the dominant one-record-per-sender case costs the scanning neighbour a
+  // single random line read — no dependent stamp -> log -> record chain.
+  struct alignas(64) RecRange {
+    std::uint64_t round = ~std::uint64_t{0};
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::uint32_t li = 0;  ///< claimed-log index within the parity set
+    WireRecord first;      ///< copy of records[lo], valid when hi > lo
+  };
+  static_assert(sizeof(RecRange) == 64, "RecRange should fill one line");
+
+  // Structure-of-arrays delivery state — see the header comment.
+  //
+  // stage_logs_ holds two sets of per-shard staging logs, flipped by round
+  // parity: the set staged in round r backs the arena consumed in round
+  // r+1, so its records must outlive the next step phase. Shards claim a
+  // log (and the matching inbox_scratch_ entry) through a per-round atomic
+  // counter local to run(); the commit orders claimed logs by their
+  // recorded live-range begin, so claim order never shows.
+  //
+  // arena_ is the slot permutation of round r's inbound records as disjoint
+  // per-destination slices (slice_begin_/slice_count_, valid for the
+  // destinations listed in touched_); the commit scatter fills next_arena_
+  // and the two swap each round. dst_count_ is the counting-sort tally
+  // (all-zero between commits), dst_cursor_ the per-destination scatter
+  // cursors. edge_sends_slab_ is the CSR per-edge allowance scratch handed
+  // to each node's RoundBuffer (offset adj_offset_[i]). survivors_ is
+  // filled only on rounds with message hazards; fault-free rounds scatter
+  // straight from the logs and leave it empty.
+  std::array<std::vector<StageLog>, 2> stage_logs_;
+  std::array<std::vector<RecRange>, 2> rec_ranges_;  ///< per-node, by parity
+  std::vector<std::vector<Message>> inbox_scratch_;  ///< per step shard
+  std::vector<std::int8_t> edge_sends_slab_;
+  std::vector<const WireRecord*> arena_;
+  std::vector<const WireRecord*> next_arena_;
+  std::vector<HeaderSlot> header_slots_;
+  std::vector<std::vector<HeaderSlot>> header_scratch_;  ///< per scatter shard
+  std::vector<Survivor> survivors_;
+  std::vector<std::size_t> log_order_;  ///< claimed logs by range_begin
   std::vector<std::size_t> slice_begin_;
   std::vector<std::int32_t> slice_count_;
   std::vector<std::int32_t> dst_count_;
   std::vector<std::size_t> dst_cursor_;
   std::vector<NodeId> touched_;
   std::vector<NodeId> next_touched_;
+
+  // Round-r delivery mode, chosen by the commit of round r-1 (see the
+  // header comment): false = gather from the arena's slot slices, true =
+  // gather by scanning each in-neighbour's RecRange directly (broadcast-
+  // heavy fault-free rounds, where it skips the tally merge, layout and
+  // scatter passes outright). prev_logs_ points at the parity log set the
+  // current gathers read from; refreshed at every round start.
+  bool deliver_by_scan_ = false;
+  const std::vector<StageLog>* prev_logs_ = nullptr;
 
   // Fault injection, bound at finalize(); crash_cursor_ walks the sorted
   // crash schedule as rounds advance.

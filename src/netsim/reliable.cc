@@ -129,10 +129,14 @@ void ReliableChannel::process_inbox(std::span<const Message> inbox,
     if (frame.hdr.flags & kFrameItem) {
       link.ack_due = true;
       const std::int64_t seq = frame.hdr.seq;
-      if (seq < link.cum_recv || link.ooo.count(seq) != 0) {
+      const auto pos = std::lower_bound(
+          link.ooo.begin(), link.ooo.end(), seq,
+          [](const auto& entry, std::int64_t s) { return entry.first < s; });
+      if (seq < link.cum_recv ||
+          (pos != link.ooo.end() && pos->first == seq)) {
         ++stats_.duplicates_discarded;
       } else {
-        link.ooo.emplace(seq, frame);
+        link.ooo.insert(pos, {seq, frame});
       }
     }
   }
@@ -140,10 +144,11 @@ void ReliableChannel::process_inbox(std::span<const Message> inbox,
 
 void ReliableChannel::drain_link(Link& link) {
   for (;;) {
-    const auto it = link.ooo.find(link.cum_recv);
-    if (it == link.ooo.end()) break;
-    const Message frame = it->second;
-    link.ooo.erase(it);
+    // Every buffered seq is >= cum_recv (process_inbox discards below it),
+    // so the next in-order item can only sit at the front.
+    if (link.ooo.empty() || link.ooo.front().first != link.cum_recv) break;
+    const Message frame = link.ooo.front().second;
+    link.ooo.erase(link.ooo.begin());
     ++link.cum_recv;
 
     if (frame.kind <= kMaxProtocolKind) {
@@ -176,9 +181,16 @@ void ReliableChannel::execute_logical(NodeContext& ctx, std::uint64_t round) {
   const auto prev = static_cast<std::int64_t>(round) - 1;
   inner_inbox_.clear();
   for (Link& link : links_) {
-    while (!link.in_log.empty() && link.in_log.front().tag == prev) {
-      inner_inbox_.push_back(link.in_log.front().msg);
-      link.in_log.pop_front();
+    while (link.in_head < link.in_log.size() &&
+           link.in_log[link.in_head].tag == prev) {
+      inner_inbox_.push_back(link.in_log[link.in_head].msg);
+      ++link.in_head;
+    }
+    if (link.in_head == link.in_log.size()) {
+      // Reader caught up: compact to size 0 but keep the capacity, so the
+      // log never reallocates in steady state.
+      link.in_log.clear();
+      link.in_head = 0;
     }
   }
 
@@ -195,16 +207,23 @@ void ReliableChannel::execute_logical(NodeContext& ctx, std::uint64_t round) {
   for (std::size_t i = 0; i < links_.size(); ++i)
     out_before[i] = links_[i].out.size();
 
-  for (const Message& msg : buffer_.staged()) {
+  buffer_.for_each_staged([&](NodeId dst, const WireRecord& rec) {
     const auto it = std::lower_bound(
-        links_.begin(), links_.end(), msg.dst,
+        links_.begin(), links_.end(), dst,
         [](const Link& link, NodeId peer) { return link.peer < peer; });
-    Message frame = msg;
+    Message frame;
+    frame.src = rec.src;
+    frame.dst = dst;
+    frame.kind = rec.kind;
+    frame.field = rec.field;
+    frame.bits = static_cast<int>(rec.bits);
     frame.has_header = true;
     frame.hdr.tag = static_cast<std::int64_t>(round);
     frame.hdr.flags = kFrameItem;
-    enqueue_item(*it, frame, msg.bits - min_message_bits(msg));
-  }
+    // The padding the inner declared beyond its honest (headerless) size.
+    enqueue_item(*it, frame,
+                 static_cast<int>(rec.bits) - min_payload_bits(rec.field));
+  });
 
   const bool halting = buffer_.halt_requested();
   for (std::size_t i = 0; i < links_.size(); ++i) {

@@ -48,11 +48,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "netsim/message.h"
@@ -137,10 +136,17 @@ class ReliableChannel final : public Process {
     std::uint64_t timer_round = 0;
     int rto = 0;
 
-    // Receive side.
+    // Receive side. Both buffers recycle their heap storage across rounds
+    // (the old unordered_map / deque churned a node allocation per frame
+    // under loss): `ooo` is a small sorted vector — every entry's seq is
+    // >= cum_recv and the window caps its size, so insertion is a
+    // lower_bound into at most `window` items — and `in_log` is a vector
+    // drained by `in_head`, compacted (size 0, capacity kept) whenever the
+    // reader catches up.
     std::int64_t cum_recv = 0;  ///< items [0, cum_recv) processed in order
-    std::unordered_map<std::int64_t, Message> ooo;  ///< out-of-order buffer
-    std::deque<PendingItem> in_log;  ///< drained data items, in order
+    std::vector<std::pair<std::int64_t, Message>> ooo;  ///< sorted by seq
+    std::vector<PendingItem> in_log;  ///< drained data items, in order
+    std::size_t in_head = 0;          ///< first unconsumed in_log entry
     std::int64_t closed_tag = -1;    ///< highest fully-received logical round
     bool fin_processed = false;
     bool ack_due = false;

@@ -6,17 +6,57 @@
 
 namespace dflp::net {
 
+void StageLog::reset() noexcept {
+  records.clear();
+  headers.clear();
+  halts.clear();
+  annotations.clear();
+  // The engine's fault-free commit drains the histogram as it merges; this
+  // loop only pays for entries a consumer left behind (standalone resets).
+  for (const NodeId d : touched) dst_count[static_cast<std::size_t>(d)] = 0;
+  touched.clear();
+  messages = 0;
+  bits_sum = 0;
+  max_bits = 0;
+  scan_cost = 0;
+  range_begin = 0;
+}
+
 void RoundBuffer::begin(NodeId node, std::uint64_t round,
                         std::span<const NodeId> neighbors,
-                        const Limits& limits) {
+                        const Limits& limits, StageLog* log,
+                        std::span<std::int8_t> edge_scratch) {
   owner_ = node;
   round_ = round;
   neighbors_ = neighbors;
   limits_ = limits;
-  staged_.clear();
-  edge_sends_.assign(neighbors.size(), 0);
-  annotations_.clear();
+  if (log == nullptr) {
+    own_log_.reset();
+    log = &own_log_;
+  }
+  log_ = log;
+  rec_begin_ = log_->records.size();
+  if (edge_scratch.empty() && !neighbors.empty()) {
+    edge_store_.assign(neighbors.size(), 0);
+    edge_sends_ = edge_store_;
+  } else {
+    std::fill(edge_scratch.begin(), edge_scratch.end(), 0);
+    edge_sends_ = edge_scratch;
+  }
   halt_ = false;
+}
+
+void RoundBuffer::stage_single(const WireRecord& rec) {
+  StageLog& log = *log_;
+  log.records.push_back(rec);
+  ++log.messages;
+  log.bits_sum += static_cast<std::uint64_t>(rec.bits);
+  log.max_bits = std::max(log.max_bits, static_cast<int>(rec.bits));
+  log.scan_cost += neighbors_.size();
+  if (limits_.tally_destinations) {
+    const auto dst = static_cast<std::size_t>(rec.dst);
+    if (log.dst_count[dst]++ == 0) log.touched.push_back(rec.dst);
+  }
 }
 
 void RoundBuffer::sink_send(NodeId from, NodeId to, std::uint8_t kind,
@@ -34,17 +74,17 @@ void RoundBuffer::sink_send(NodeId from, NodeId to, std::uint8_t kind,
   DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
                  "node " << from << " is not adjacent to " << to);
 
-  Message msg;
-  msg.src = from;
-  msg.dst = to;
-  msg.kind = kind;
-  msg.field = fields;
-  const int honest = min_message_bits(msg);
-  msg.bits = bits < 0 ? honest : bits;
-  DFLP_CHECK_MSG(msg.bits >= honest,
-                 "declared " << msg.bits << " bits < honest size " << honest);
-  DFLP_CHECK_MSG(msg.bits <= limits_.bit_budget,
-                 "message of " << msg.bits << " bits exceeds CONGEST budget "
+  WireRecord rec;
+  rec.src = from;
+  rec.dst = to;
+  rec.kind = kind;
+  rec.field = fields;
+  const int honest = min_payload_bits(fields);
+  rec.bits = bits < 0 ? honest : bits;
+  DFLP_CHECK_MSG(rec.bits >= honest,
+                 "declared " << rec.bits << " bits < honest size " << honest);
+  DFLP_CHECK_MSG(rec.bits <= limits_.bit_budget,
+                 "message of " << rec.bits << " bits exceeds CONGEST budget "
                                << limits_.bit_budget << " (kind="
                                << static_cast<int>(kind) << ")");
 
@@ -53,7 +93,7 @@ void RoundBuffer::sink_send(NodeId from, NodeId to, std::uint8_t kind,
                  "edge allowance exceeded on " << from << "->" << to
                                                << " in round " << round_);
   ++edge_sends_[idx];
-  staged_.push_back(msg);
+  stage_single(rec);
 }
 
 void RoundBuffer::sink_broadcast(NodeId from, std::span<const NodeId>,
@@ -70,29 +110,43 @@ void RoundBuffer::sink_broadcast(NodeId from, std::span<const NodeId>,
                            << " exceeds the allowed maximum "
                            << static_cast<int>(limits_.max_kind)
                            << " (reserved for transport control traffic)");
-  Message msg;
-  msg.src = from;
-  msg.kind = kind;
-  msg.field = fields;
-  const int honest = min_message_bits(msg);
-  msg.bits = bits < 0 ? honest : bits;
-  DFLP_CHECK_MSG(msg.bits >= honest,
-                 "declared " << msg.bits << " bits < honest size " << honest);
-  DFLP_CHECK_MSG(msg.bits <= limits_.bit_budget,
-                 "message of " << msg.bits << " bits exceeds CONGEST budget "
+  WireRecord rec;
+  rec.src = from;
+  rec.kind = kind;
+  rec.field = fields;
+  rec.flags = kWireBroadcast;
+  const int honest = min_payload_bits(fields);
+  rec.bits = bits < 0 ? honest : bits;
+  DFLP_CHECK_MSG(rec.bits >= honest,
+                 "declared " << rec.bits << " bits < honest size " << honest);
+  DFLP_CHECK_MSG(rec.bits <= limits_.bit_budget,
+                 "message of " << rec.bits << " bits exceeds CONGEST budget "
                                << limits_.bit_budget << " (kind="
                                << static_cast<int>(kind) << ")");
 
-  staged_.reserve(staged_.size() + neighbors_.size());
+  // One fused pass over the adjacency settles the per-edge allowance and
+  // the stage-time destination histogram; the copies themselves are never
+  // materialized — the record below stands for all of them and the CONGEST
+  // bill is batched analytically.
+  StageLog& log = *log_;
+  const bool tally = limits_.tally_destinations;
   for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
     DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
                    "edge allowance exceeded on " << from << "->"
                                                  << neighbors_[idx]
                                                  << " in round " << round_);
     ++edge_sends_[idx];
-    msg.dst = neighbors_[idx];
-    staged_.push_back(msg);
+    if (tally) {
+      const auto dst = static_cast<std::size_t>(neighbors_[idx]);
+      if (log.dst_count[dst]++ == 0) log.touched.push_back(neighbors_[idx]);
+    }
   }
+  log.records.push_back(rec);
+  const auto degree = static_cast<std::uint64_t>(neighbors_.size());
+  log.messages += degree;
+  log.bits_sum += degree * static_cast<std::uint64_t>(rec.bits);
+  log.max_bits = std::max(log.max_bits, static_cast<int>(rec.bits));
+  log.scan_cost += degree;
 }
 
 void RoundBuffer::sink_frame(NodeId from, const Message& frame) {
@@ -118,14 +172,27 @@ void RoundBuffer::sink_frame(NodeId from, const Message& frame) {
                  "edge allowance exceeded on " << from << "->" << to
                                                << " in round " << round_);
   ++edge_sends_[idx];
-  staged_.push_back(msg);
+
+  WireRecord rec;
+  rec.src = msg.src;
+  rec.dst = msg.dst;
+  rec.kind = msg.kind;
+  rec.field = msg.field;
+  rec.bits = msg.bits;
+  rec.flags = kWireHasHeader;
+  log_->headers.push_back(
+      {static_cast<std::uint32_t>(log_->records.size()), msg.hdr});
+  stage_single(rec);
 }
 
 void RoundBuffer::sink_halt(NodeId node) {
   DFLP_CHECK_MSG(node == owner_,
                  "halt for node " << node << " staged into the buffer of node "
                                   << owner_);
-  halt_ = true;
+  if (!halt_) {
+    halt_ = true;
+    log_->halts.push_back(node);
+  }
 }
 
 void RoundBuffer::sink_annotate(NodeId node, std::string_view phase) {
@@ -135,13 +202,17 @@ void RoundBuffer::sink_annotate(NodeId node, std::string_view phase) {
                                          << " staged into the buffer of node "
                                          << owner_);
   DFLP_CHECK_MSG(!phase.empty(), "empty phase annotation from node " << node);
-  annotations_.push_back(phase);
+  log_->annotations.push_back(phase);
 }
 
 void RoundBuffer::clear() noexcept {
-  staged_.clear();
+  if (log_ == &own_log_) {
+    own_log_.reset();
+    rec_begin_ = 0;
+  } else if (log_ != nullptr) {
+    log_->records.resize(rec_begin_);
+  }
   std::fill(edge_sends_.begin(), edge_sends_.end(), 0);
-  annotations_.clear();
   halt_ = false;
 }
 

@@ -1,24 +1,32 @@
-// Per-node staging buffer for the step phase of the round engine.
+// Per-node staging facade for the step phase of the round engine.
 //
 // The step/commit contract
 // ------------------------
 // A round executes in two phases. In the *step* phase every live node is
-// invoked with its inbox and writes its sends and its halt request into a
-// private `RoundBuffer` — never into shared transport state. Buffers of
-// distinct nodes share nothing, so the step phase may run nodes in any
-// order, on any number of threads. In the *commit* phase the engine drains
-// the buffers in canonical node-id order, applies fault injection, and
-// moves the surviving messages into next round's inboxes. Because the
-// commit order is fixed and every random draw comes from a stream derived
-// from `(seed, node, round)` (common/rng.h `derive_stream_seed`), the whole
-// execution is a pure function of (topology, processes, seed) — identical
-// for every thread count and scheduling of the step phase.
+// invoked with its inbox and writes its sends and its halt request through
+// a `RoundBuffer` into a `StageLog` (netsim/network.h) — never into shared
+// transport state. The engine gives each step shard one contiguous log and
+// re-arms a single stack-local buffer per node, so logs of distinct shards
+// share nothing and the step phase may run nodes in any order, on any
+// number of threads. In the *commit* phase the engine drains the logs in
+// canonical shard order, applies fault injection, and moves the surviving
+// records into next round's inboxes. Because the commit order is fixed and
+// every random draw comes from a stream derived from `(seed, node, round)`
+// (common/rng.h `derive_stream_seed`), the whole execution is a pure
+// function of (topology, processes, seed) — identical for every thread
+// count and scheduling of the step phase.
 //
 // The buffer owns all CONGEST legality checks (adjacency, honest bit
 // declaration, per-message budget, per-edge allowance, reserved opcodes),
-// so they fire inside the sending node's own step with no shared state.
+// so they fire inside the sending node's own step with no shared state. A
+// broadcast is checked per edge but staged as ONE flagged WireRecord with
+// its message/bit bill settled analytically — the commit never touches
+// `degree` copies until the final scatter writes their slots.
+//
 // Both the synchronous `Network` and the alpha-synchronizer (netsim/async.h)
-// stage their wrapped protocol's sends through this one class.
+// stage their wrapped protocol's sends through this one class; standalone
+// consumers (the synchronizer, the reliable channel) omit the log argument
+// of begin() and the buffer uses an internal private log instead.
 #pragma once
 
 #include <cstdint>
@@ -44,29 +52,41 @@ class RoundBuffer final : public MessageSink {
     /// (netsim/trace.h). Off by default: annotations are dropped at the
     /// sink, so untraced runs pay only the virtual call.
     bool capture_annotations = false;
+    /// Maintain the log's per-destination histogram at stage time (the
+    /// engine's fault-free commit merges it instead of re-counting the
+    /// records). Requires StageLog::dst_count sized to the node count, so
+    /// standalone consumers leave it off.
+    bool tally_destinations = false;
   };
 
   RoundBuffer() = default;
 
   /// Re-arms the buffer for one (node, round) step. `neighbors` must be the
-  /// node's sorted adjacency and must outlive the step. Clears any
-  /// previously staged state; capacity is retained across rounds.
+  /// node's sorted adjacency and must outlive the step. `log` receives the
+  /// staged records/halts/annotations; nullptr (the standalone default)
+  /// selects the buffer's private log, which is cleared here — capacity is
+  /// retained across rounds. `edge_scratch`, when non-empty, must span
+  /// `neighbors.size()` slots (the engine's CSR allowance slab); it is
+  /// zero-filled here. Empty uses internal storage.
   void begin(NodeId node, std::uint64_t round,
-             std::span<const NodeId> neighbors, const Limits& limits);
+             std::span<const NodeId> neighbors, const Limits& limits,
+             StageLog* log = nullptr, std::span<std::int8_t> edge_scratch = {});
 
   // MessageSink: called by NodeContext during the owner's step.
   void sink_send(NodeId from, NodeId to, std::uint8_t kind,
                  std::array<std::int64_t, 3> fields, int bits) override;
-  /// Broadcast fast path: validates the payload once, then stages one copy
-  /// per neighbour (checking only the per-edge allowance each time) —
-  /// skips the per-send adjacency search of `degree` sink_send calls.
+  /// Broadcast fast path: validates the payload once, settles the per-edge
+  /// allowance and the batched bit accounting in one pass over the
+  /// adjacency, then stages a single kWireBroadcast record — the commit
+  /// expands it over the neighbours only at scatter time.
   void sink_broadcast(NodeId from, std::span<const NodeId> neighbors,
                       std::uint8_t kind, std::array<std::int64_t, 3> fields,
                       int bits) override;
   /// Transport-layer frame path used by the reliable channel: the frame
   /// arrives fully formed (header already attached) and is exempt from the
   /// `max_kind` protocol-opcode cap, but still pays adjacency, honest-bit,
-  /// budget, and per-edge allowance checks.
+  /// budget, and per-edge allowance checks. The header is parked in the
+  /// log's sparse header list, not in the staged record.
   void sink_frame(NodeId from, const Message& frame) override;
   void sink_halt(NodeId node) override;
   /// Captures the phase label when `Limits::capture_annotations` is set,
@@ -74,38 +94,58 @@ class RoundBuffer final : public MessageSink {
   /// literals (see NodeContext::annotate) that outlive the commit drain.
   void sink_annotate(NodeId node, std::string_view phase) override;
 
-  /// Messages staged this step, in send-call order, with resolved bit
-  /// sizes (>= the honest minimum).
-  [[nodiscard]] std::span<const Message> staged() const noexcept {
-    return staged_;
+  /// Records staged by the owner since begin(), in send-call order, with
+  /// resolved bit sizes (>= the honest minimum). A broadcast appears as one
+  /// kWireBroadcast record; use for_each_staged() for the expanded view.
+  [[nodiscard]] std::span<const WireRecord> staged() const noexcept {
+    return {log_->records.data() + rec_begin_,
+            log_->records.size() - rec_begin_};
   }
+
+  /// Invokes `fn(NodeId dst, const WireRecord&)` once per staged message
+  /// copy in send-call order, expanding broadcast records over the
+  /// adjacency in neighbour order — exactly the copy sequence the legacy
+  /// per-copy staging produced.
+  template <typename Fn>
+  void for_each_staged(Fn&& fn) const {
+    for (const WireRecord& rec : staged()) {
+      if (rec.flags & kWireBroadcast) {
+        for (const NodeId nb : neighbors_) fn(nb, rec);
+      } else {
+        fn(rec.dst, rec);
+      }
+    }
+  }
+
   [[nodiscard]] bool halt_requested() const noexcept { return halt_; }
   [[nodiscard]] NodeId owner() const noexcept { return owner_; }
-
-  /// Phase labels annotated this step, in call order (empty unless
-  /// `Limits::capture_annotations`). Drained by the commit tally.
-  [[nodiscard]] std::span<const std::string_view> annotations() const noexcept {
-    return annotations_;
-  }
 
   /// Whether any message was staged to the neighbour at `neighbor_idx`
   /// (position in the adjacency list) — the synchronizer's silent-edge
   /// query for round tokens.
   [[nodiscard]] bool sent_to(std::size_t neighbor_idx) const {
-    return edge_sends_.at(neighbor_idx) != 0;
+    return neighbor_idx < edge_sends_.size() && edge_sends_[neighbor_idx] != 0;
   }
 
-  /// Drops staged state after the commit phase consumed it.
+  /// Drops staged state after it was consumed (standalone consumers only —
+  /// the engine resets whole logs instead). With a private log this resets
+  /// it; with an external log only the owner's records are truncated.
   void clear() noexcept;
 
  private:
+  /// Appends one single-destination record to the log and settles its
+  /// accounting (aggregates plus, when enabled, the stage-time histogram).
+  void stage_single(const WireRecord& rec);
+
   NodeId owner_ = kNoNode;
   std::uint64_t round_ = 0;
   std::span<const NodeId> neighbors_;
   Limits limits_;
-  std::vector<Message> staged_;
-  std::vector<std::int8_t> edge_sends_;  ///< per neighbour index
-  std::vector<std::string_view> annotations_;
+  StageLog* log_ = &own_log_;
+  std::size_t rec_begin_ = 0;  ///< owner's first record within *log_
+  std::span<std::int8_t> edge_sends_;  ///< per neighbour index
+  StageLog own_log_;                   ///< standalone fallback
+  std::vector<std::int8_t> edge_store_;  ///< standalone fallback
   bool halt_ = false;
 };
 

@@ -91,9 +91,15 @@ struct TraceRound {
   std::uint64_t bits = 0;        ///< CONGEST bits of delivered messages
   int max_bits = 0;              ///< largest delivered message this round
   std::uint64_t arena = 0;       ///< arena occupancy after the commit
-  double step_s = 0.0;           ///< wall seconds of the step phase
-  double commit_s = 0.0;         ///< wall seconds of tally + layout
-  double scatter_s = 0.0;        ///< wall seconds of the scatter pass
+  /// Wall seconds of the step phase: inbox gather (materializing Messages
+  /// from the SoA arena), delivery ordering, and the protocol code itself.
+  double step_s = 0.0;
+  /// Wall seconds of the commit's tally/merge + layout passes (per-log
+  /// aggregate merge or the hazard coin walk, then slice prefix-sum).
+  double commit_s = 0.0;
+  /// Wall seconds of the commit's slot scatter (plus the sparse header
+  /// table merge, when reliable frames are present).
+  double scatter_s = 0.0;
   std::vector<TraceShard> shards;  ///< per-thread step durations
   /// Per-node phase annotations aggregated for this round: (phase label,
   /// number of nodes that marked it), sorted by label. Empty unless the

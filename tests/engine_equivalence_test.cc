@@ -179,6 +179,42 @@ TEST_P(EngineEquivalenceTest, MwGreedyMatchesCommittedGolden) {
   }
 }
 
+// Fingerprint committed in golden_metrics_test.cc (uniform family, 80
+// facilities, instance seed 13; k=4, engine seed 17). The SoA arena — and
+// its per-round choice between slot-permutation and neighbour-scan
+// delivery — must reproduce it at every thread count and delivery order,
+// and the unrecovered drop stream must keep failing with the committed
+// diagnostic everywhere. This is the cross-check the per-config sweeps
+// cannot do alone: a rewrite that shifts all thread counts in lockstep
+// still trips this golden.
+constexpr char kSoAGoldenMetrics[] = "29/1005/8040/8/592/0";
+constexpr char kSoAGoldenDropDiagnostic[] =
+    "mop-up grant missing for client node 74";
+
+TEST_P(EngineEquivalenceTest, SoAArenaReproducesCommittedGoldenEverywhere) {
+  if (GetParam().mode != FaultMode::kFaultFree &&
+      GetParam().mode != FaultMode::kDrops)
+    GTEST_SKIP() << "golden is pinned for the fault-free and drop streams";
+  const fl::Instance inst =
+      workload::make_family_instance(workload::Family::kUniform, 80, 13);
+  for (int threads : kThreadCounts) {
+    const std::string trace = outcome_trace([&] {
+      core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/17);
+      params.num_threads = threads;
+      const core::MwGreedyOutcome out = core::run_mw_greedy(inst, params);
+      return metrics_fingerprint(out.metrics);
+    });
+    if (GetParam().mode == FaultMode::kFaultFree) {
+      EXPECT_EQ(trace, kSoAGoldenMetrics) << "threads = " << threads;
+    } else {
+      EXPECT_NE(trace.find("CheckError"), std::string::npos)
+          << "threads = " << threads << ": " << trace;
+      EXPECT_NE(trace.find(kSoAGoldenDropDiagnostic), std::string::npos)
+          << "threads = " << threads << ": " << trace;
+    }
+  }
+}
+
 TEST_P(EngineEquivalenceTest, MwGreedyBitIdenticalAcrossThreadCounts) {
   const fl::Instance inst =
       workload::make_family_instance(workload::Family::kUniform, 60, 7);

@@ -172,7 +172,7 @@ TEST(FaultPlan, DuplicationFiresWithProbabilityOne) {
   o.duplicate_probability = 1.0;
   FaultPlan plan(o, /*network_seed=*/9, /*num_nodes=*/4);
   auto coins = plan.begin_sender(0, /*round=*/0);
-  const FaultPlan::Fate f = plan.fate(coins, link_msg(0, 1), 0);
+  const FaultPlan::Fate f = plan.fate(coins, 0, 1, 0);
   EXPECT_FALSE(f.dropped);
   EXPECT_TRUE(f.duplicated);
 }
@@ -190,10 +190,10 @@ TEST(FaultPlan, BurstChainIsQueryOrderIndependent) {
     bool eager_dropped = false;
     for (std::uint64_t r = 0; r <= 9; ++r) {
       auto coins = eager.begin_sender(0, r);
-      eager_dropped = eager.fate(coins, link_msg(0, 1), r).dropped;
+      eager_dropped = eager.fate(coins, 0, 1, r).dropped;
     }
     auto coins = lazy.begin_sender(0, 9);
-    EXPECT_EQ(lazy.fate(coins, link_msg(0, 1), 9).dropped, eager_dropped)
+    EXPECT_EQ(lazy.fate(coins, 0, 1, 9).dropped, eager_dropped)
         << "network_seed=" << probe;
   }
 }
@@ -208,15 +208,15 @@ TEST(FaultPlan, PartitionDropsOnlyInsideWindowAndIsSymmetric) {
   for (NodeId v = 1; v < 16; ++v) {
     // Outside the window nothing is dropped.
     auto before = plan.begin_sender(0, 1);
-    EXPECT_FALSE(plan.fate(before, link_msg(0, v), 1).dropped);
+    EXPECT_FALSE(plan.fate(before, 0, v, 1).dropped);
     auto after = plan.begin_sender(0, 5);
-    EXPECT_FALSE(plan.fate(after, link_msg(0, v), 5).dropped);
+    EXPECT_FALSE(plan.fate(after, 0, v, 5).dropped);
     // Inside, the verdict depends only on the seeded sides, so it is
     // symmetric in the endpoints.
     auto fwd = plan.begin_sender(0, 3);
     auto rev = plan.begin_sender(v, 3);
-    const bool cut = plan.fate(fwd, link_msg(0, v), 3).dropped;
-    EXPECT_EQ(plan.fate(rev, link_msg(v, 0), 3).dropped, cut);
+    const bool cut = plan.fate(fwd, 0, v, 3).dropped;
+    EXPECT_EQ(plan.fate(rev, v, 0, 3).dropped, cut);
     any_dropped = any_dropped || cut;
     any_delivered = any_delivered || !cut;
   }
@@ -238,8 +238,8 @@ TEST(FaultPlan, LegacyIidDropStreamIgnoresFaultSeed) {
     auto ca = a.begin_sender(2, r);
     auto cb = b.begin_sender(2, r);
     for (int k = 0; k < 8; ++k) {
-      EXPECT_EQ(a.fate(ca, link_msg(2, 3), r).dropped,
-                b.fate(cb, link_msg(2, 3), r).dropped)
+      EXPECT_EQ(a.fate(ca, 2, 3, r).dropped,
+                b.fate(cb, 2, 3, r).dropped)
           << "round " << r << " msg " << k;
     }
   }
