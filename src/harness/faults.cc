@@ -158,6 +158,51 @@ FaultRunReport run_fault_scenario(const fl::Instance& inst,
   return report;
 }
 
+FaultRunReport run_ftfp_fault_scenario(const fl::FtfpInstance& inst,
+                                       const core::MwParams& params,
+                                       const std::string& name) {
+  DFLP_CHECK_MSG(params.boot_crash_fraction == 0.0,
+                 "boot crashes do not apply to FTFP scenarios; crash opened "
+                 "facilities with harness/survive.h instead");
+  FaultRunReport report;
+  report.scenario = name;
+
+  core::MwParams baseline_params = params;
+  baseline_params.faults = net::FaultPlan::Options{};
+  baseline_params.faults.fault_seed = params.faults.fault_seed;
+  const core::FtfpOutcome baseline =
+      core::run_ftfp_greedy(inst, baseline_params);
+  const std::string baseline_fp = baseline.solution.fingerprint(inst);
+  const double baseline_cost = baseline.solution.cost(inst);
+
+  try {
+    const core::FtfpOutcome out = core::run_ftfp_greedy(inst, params);
+    report.completed = true;
+    report.feasible = out.solution.is_feasible(inst);
+    report.matches_fault_free =
+        out.solution.fingerprint(inst) == baseline_fp;
+    report.cost = report.feasible ? out.solution.cost(inst) : 0.0;
+    report.cost_ratio =
+        baseline_cost > 0.0 ? report.cost / baseline_cost
+                            : (report.cost <= 0.0 ? 1.0 : 0.0);
+    report.rounds = out.metrics.rounds;
+    report.round_dilation =
+        baseline.metrics.rounds > 0
+            ? static_cast<double>(out.metrics.rounds) /
+                  static_cast<double>(baseline.metrics.rounds)
+            : 0.0;
+    report.dropped = out.metrics.dropped;
+    report.duplicated = out.metrics.duplicated;
+    report.crashed = out.metrics.crashed;
+    report.retransmissions = out.transport.retransmissions;
+    report.duplicates_discarded = out.transport.duplicates_discarded;
+    report.phases = out.phases;
+  } catch (const CheckError& err) {
+    report.diagnostic = err.what();
+  }
+  return report;
+}
+
 std::vector<FaultRunReport> run_fault_campaign(
     const fl::Instance& inst, const std::vector<FaultScenario>& scenarios) {
   std::vector<FaultRunReport> reports;

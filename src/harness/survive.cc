@@ -1,0 +1,198 @@
+#include "harness/survive.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "netsim/fault.h"
+
+namespace dflp::harness {
+
+namespace {
+
+/// Decorrelates kill-set sampling from the engine and boot-crash streams.
+constexpr std::uint64_t kKillSeedSalt = 0x5EED0FACE5C4A5EULL;
+
+}  // namespace
+
+std::vector<fl::FacilityId> opened_facilities(const fl::FtfpSolution& solution,
+                                              const fl::FtfpInstance& inst) {
+  std::vector<fl::FacilityId> opened;
+  for (fl::FacilityId i = 0; i < inst.base.num_facilities(); ++i)
+    if (solution.is_open(i)) opened.push_back(i);
+  return opened;
+}
+
+std::vector<KillSet> single_kill_sets(const fl::FtfpSolution& solution,
+                                      const fl::FtfpInstance& inst) {
+  std::vector<KillSet> sets;
+  for (const fl::FacilityId i : opened_facilities(solution, inst)) {
+    std::ostringstream name;
+    name << "kill-f" << i;
+    sets.push_back(KillSet{name.str(), {i}});
+  }
+  return sets;
+}
+
+KillSet sample_kill_set(const fl::FtfpSolution& solution,
+                        const fl::FtfpInstance& inst, double fraction,
+                        std::uint64_t kill_seed) {
+  DFLP_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                 "kill fraction must be in [0, 1], got " << fraction);
+  const std::vector<fl::FacilityId> opened = opened_facilities(solution, inst);
+
+  KillSet kill;
+  std::ostringstream name;
+  name << "kill-frac" << fraction << "-seed" << kill_seed;
+  kill.name = name.str();
+  if (fraction <= 0.0 || opened.empty()) return kill;
+
+  // The opened facilities form a virtual node set 0..#opened-1; the
+  // FaultPlan crash-stop sampler picks the victims, so kill sets obey the
+  // same determinism contract as every other hazard in the repo.
+  net::FaultPlan::Options options;
+  options.random_crash_fraction = fraction;
+  options.fault_seed = kill_seed;
+  const net::FaultPlan plan(options, kKillSeedSalt, opened.size());
+  for (const net::CrashEvent& event : plan.crash_schedule())
+    kill.killed.push_back(opened[static_cast<std::size_t>(event.node)]);
+  std::sort(kill.killed.begin(), kill.killed.end());
+  return kill;
+}
+
+SurvivalReport survive_crash(const fl::FtfpInstance& inst,
+                             const fl::FtfpSolution& solution,
+                             const KillSet& kill) {
+  const fl::Instance& base = inst.base;
+  std::vector<std::uint8_t> dead(static_cast<std::size_t>(base.num_facilities()),
+                                 0);
+  for (const fl::FacilityId i : kill.killed) {
+    DFLP_CHECK_MSG(solution.is_open(i),
+                   "kill set '" << kill.name << "' names facility " << i
+                                << " which is not open in the placement");
+    dead[static_cast<std::size_t>(i)] = 1;
+  }
+
+  SurvivalReport report;
+  report.kill_set = kill.name;
+  report.killed = static_cast<int>(kill.killed.size());
+  report.residual_feasible = true;
+  report.repaired = true;
+
+  // Standing facilities after the crash; repair may re-open more.
+  std::vector<std::uint8_t> standing(
+      static_cast<std::size_t>(base.num_facilities()), 0);
+  for (fl::FacilityId i = 0; i < base.num_facilities(); ++i) {
+    if (solution.is_open(i) && !dead[static_cast<std::size_t>(i)]) {
+      standing[static_cast<std::size_t>(i)] = 1;
+      ++report.surviving_open;
+    }
+  }
+
+  double opening_intact = 0.0;
+  double opening_residual = 0.0;
+  for (fl::FacilityId i = 0; i < base.num_facilities(); ++i) {
+    if (solution.is_open(i)) opening_intact += base.opening_cost(i);
+    if (standing[static_cast<std::size_t>(i)])
+      opening_residual += base.opening_cost(i);
+  }
+
+  double connection_intact = 0.0;
+  double connection_residual = 0.0;
+  for (fl::ClientId j = 0; j < base.num_clients(); ++j) {
+    // Intact primary: cheapest assigned facility (ties to the lower id).
+    fl::FacilityId old_primary = fl::kNoFacility;
+    double old_cost = std::numeric_limits<double>::infinity();
+    // Post-crash primary: cheapest *surviving* assigned facility.
+    fl::FacilityId new_primary = fl::kNoFacility;
+    double new_cost = std::numeric_limits<double>::infinity();
+    for (const fl::FacilityId i : solution.assignments(j)) {
+      const double c = base.connection_cost(i, j);
+      if (c < old_cost || (c == old_cost && i < old_primary)) {
+        old_primary = i;
+        old_cost = c;
+      }
+      if (dead[static_cast<std::size_t>(i)]) continue;
+      if (c < new_cost || (c == new_cost && i < new_primary)) {
+        new_primary = i;
+        new_cost = c;
+      }
+    }
+    connection_intact += old_cost;
+
+    if (new_primary == fl::kNoFacility) {
+      // Orphan: every assigned facility died. Repair pass 1 routes to the
+      // cheapest surviving *open* neighbour; pass 2 re-opens the cheapest
+      // surviving neighbour outright (client_edges are cost-ascending).
+      report.residual_feasible = false;
+      ++report.orphaned_clients;
+      fl::FacilityId fallback = fl::kNoFacility;
+      for (const fl::ClientEdge& e : base.client_edges(j)) {
+        if (dead[static_cast<std::size_t>(e.facility)]) continue;
+        if (fallback == fl::kNoFacility) fallback = e.facility;
+        if (standing[static_cast<std::size_t>(e.facility)]) {
+          new_primary = e.facility;
+          new_cost = e.cost;
+          break;
+        }
+      }
+      if (new_primary == fl::kNoFacility && fallback != fl::kNoFacility) {
+        standing[static_cast<std::size_t>(fallback)] = 1;
+        opening_residual += base.opening_cost(fallback);
+        ++report.reopened_facilities;
+        new_primary = fallback;
+        new_cost = base.connection_cost(fallback, j);
+      }
+    }
+
+    if (new_primary == fl::kNoFacility) {
+      // Every reachable facility died; the client cannot be served.
+      report.repaired = false;
+      continue;
+    }
+    connection_residual += new_cost;
+    if (new_primary != old_primary) {
+      ++report.rerouted_clients;
+      report.reassignment_cost += new_cost - old_cost;
+    }
+  }
+
+  report.cost_intact = opening_intact + connection_intact;
+  report.cost_residual = opening_residual + connection_residual;
+  report.cost_ratio = report.cost_intact > 0.0
+                          ? report.cost_residual / report.cost_intact
+                          : 0.0;
+  return report;
+}
+
+std::vector<SurvivalReport> run_survival_campaign(
+    const fl::FtfpInstance& inst, const fl::FtfpSolution& solution,
+    const std::vector<KillSet>& kill_sets) {
+  std::vector<SurvivalReport> reports;
+  reports.reserve(kill_sets.size());
+  for (const KillSet& kill : kill_sets)
+    reports.push_back(survive_crash(inst, solution, kill));
+  return reports;
+}
+
+SurvivalSummary summarize(const std::vector<SurvivalReport>& reports) {
+  SurvivalSummary summary;
+  summary.kill_sets = static_cast<int>(reports.size());
+  double ratio_sum = 0.0;
+  for (const SurvivalReport& r : reports) {
+    if (r.residual_feasible) ++summary.residual_feasible;
+    if (r.repaired) ++summary.repaired;
+    summary.worst_orphans = std::max(summary.worst_orphans, r.orphaned_clients);
+    summary.worst_cost_ratio = std::max(summary.worst_cost_ratio, r.cost_ratio);
+    ratio_sum += r.cost_ratio;
+    summary.total_rerouted += static_cast<std::uint64_t>(r.rerouted_clients);
+    summary.total_reopened +=
+        static_cast<std::uint64_t>(r.reopened_facilities);
+  }
+  summary.mean_cost_ratio =
+      reports.empty() ? 0.0 : ratio_sum / static_cast<double>(reports.size());
+  return summary;
+}
+
+}  // namespace dflp::harness

@@ -1,0 +1,110 @@
+// Survivability campaigns: what happens to a (possibly redundant) placement
+// when opened facilities crash *after* deployment.
+//
+// The solver-side fault plans (harness/faults.h) measure whether the
+// *protocol* survives hazards during the run. This module measures whether
+// the *placement* survives hazards after the run: given an FTFP solution,
+// a kill set of opened facilities is crashed and the report says whether
+// every client is still served by a surviving assigned facility (residual
+// feasibility), what the post-crash serving cost is, and how much recourse
+// — rerouted clients and emergency re-openings — the repair needed.
+//
+// Kill sets come from two sources:
+//   * `single_kill_sets` enumerates every single-facility crash — the
+//     exhaustive check behind the r=2 survivability guarantee (a client
+//     with two distinct facilities never loses both to one crash);
+//   * `sample_kill_set` crashes a seeded fraction of the opened
+//     facilities, reusing the FaultPlan crash-stop sampler over a virtual
+//     node set indexed by the opened-facility list, so kill sets are a
+//     pure function of (placement, fraction, kill_seed) and shared across
+//     the r sweeps in bench_ftfp.
+//
+// Post-crash semantics: every client routes to its cheapest *surviving*
+// assigned facility. A client whose assigned facilities all died is an
+// orphan; repair routes it to the cheapest surviving open facility it can
+// reach, and failing that re-opens the cheapest surviving neighbour
+// (paying its opening cost). Clients whose neighbours all died are beyond
+// repair and leave the placement infeasible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fl/ftfp.h"
+
+namespace dflp::harness {
+
+/// A named set of opened facilities to crash.
+struct KillSet {
+  std::string name;
+  std::vector<fl::FacilityId> killed;
+};
+
+/// The opened facilities of a placement, in ascending id order — the
+/// virtual node set the kill sampler indexes.
+[[nodiscard]] std::vector<fl::FacilityId> opened_facilities(
+    const fl::FtfpSolution& solution, const fl::FtfpInstance& inst);
+
+/// One kill set per opened facility (exhaustive single-crash enumeration).
+[[nodiscard]] std::vector<KillSet> single_kill_sets(
+    const fl::FtfpSolution& solution, const fl::FtfpInstance& inst);
+
+/// Crashes each opened facility with probability `fraction`, sampled by
+/// the FaultPlan crash-stop machinery over virtual nodes 0..#opened-1
+/// seeded by `kill_seed`. Deterministic; independent of r, so placements
+/// of different redundancy face comparable hazards under a shared seed.
+[[nodiscard]] KillSet sample_kill_set(const fl::FtfpSolution& solution,
+                                      const fl::FtfpInstance& inst,
+                                      double fraction,
+                                      std::uint64_t kill_seed);
+
+/// Outcome of crashing one kill set against one placement.
+struct SurvivalReport {
+  std::string kill_set;
+  int killed = 0;            ///< facilities crashed
+  int surviving_open = 0;    ///< open facilities left standing
+  /// Every client kept >= 1 surviving *assigned* facility — served without
+  /// any repair. This is the guarantee r >= 2 buys against single crashes.
+  bool residual_feasible = false;
+  /// Every client is served after repair (false only when some client's
+  /// entire neighbourhood died).
+  bool repaired = false;
+  int orphaned_clients = 0;   ///< lost every assigned facility
+  int rerouted_clients = 0;   ///< primary facility changed (incl. orphans)
+  int reopened_facilities = 0;  ///< emergency openings during repair
+  double cost_intact = 0.0;    ///< serving cost before the crash
+  double cost_residual = 0.0;  ///< serving cost after crash + repair
+  double cost_ratio = 0.0;     ///< residual / intact
+  /// Connection-cost delta summed over rerouted clients (the marginal
+  /// price of re-assignment, excluding re-opening).
+  double reassignment_cost = 0.0;
+};
+
+/// Crashes `kill` against the placement and reports. Serving cost = the
+/// opening cost of every standing open facility (survivors + re-openings)
+/// plus each served client's primary connection cost.
+[[nodiscard]] SurvivalReport survive_crash(const fl::FtfpInstance& inst,
+                                           const fl::FtfpSolution& solution,
+                                           const KillSet& kill);
+
+/// survive_crash over every kill set.
+[[nodiscard]] std::vector<SurvivalReport> run_survival_campaign(
+    const fl::FtfpInstance& inst, const fl::FtfpSolution& solution,
+    const std::vector<KillSet>& kill_sets);
+
+/// Campaign aggregate for tables and gates.
+struct SurvivalSummary {
+  int kill_sets = 0;
+  int residual_feasible = 0;  ///< kill sets survived without repair
+  int repaired = 0;           ///< kill sets served after repair
+  int worst_orphans = 0;
+  double worst_cost_ratio = 0.0;
+  double mean_cost_ratio = 0.0;
+  std::uint64_t total_rerouted = 0;
+  std::uint64_t total_reopened = 0;
+};
+[[nodiscard]] SurvivalSummary summarize(
+    const std::vector<SurvivalReport>& reports);
+
+}  // namespace dflp::harness

@@ -44,6 +44,9 @@ ReliableChannel::ReliableChannel(std::unique_ptr<Process> inner,
                  "window must be >= 1 item, got " << options_.window);
   DFLP_CHECK_MSG(options_.linger >= 0,
                  "linger must be >= 0 rounds, got " << options_.linger);
+  DFLP_CHECK_MSG(options_.max_retransmits >= 1,
+                 "max_retransmits must be >= 1, got "
+                     << options_.max_retransmits);
   inner_limits_.bit_budget = options_.inner_bit_budget;
   inner_limits_.max_msgs_per_edge_per_round =
       options_.max_msgs_per_edge_per_round;
@@ -116,6 +119,7 @@ void ReliableChannel::process_inbox(std::span<const Message> inbox,
                              << " items but only " << link.out.size()
                              << " were staged");
       link.acked = frame.hdr.ack;
+      link.retx_count = 0;  // the peer is alive and making progress
       if (link.acked < link.next_tx) {
         // Progress observed: restart the timer for the new oldest unacked.
         link.timer_armed = true;
@@ -264,6 +268,17 @@ void ReliableChannel::transmit(NodeContext& ctx, std::uint64_t now) {
       frame.bits = min_message_bits(frame) + item.extra_bits;
       ctx.send_frame(frame);
     };
+    const auto note_retransmit = [&] {
+      ++stats_.retransmissions;
+      ++link.retx_count;
+      DFLP_CHECK_MSG(
+          link.retx_count <= options_.max_retransmits,
+          "reliable link " << ctx.self() << " -> " << link.peer
+                           << " is dead: item seq " << link.acked
+                           << " retransmitted " << link.retx_count
+                           << " times with no ack by round " << now
+                           << "; peer presumed crash-stopped");
+    };
 
     bool sent = false;
     if (link.timer_armed && link.acked < link.next_tx &&
@@ -272,7 +287,7 @@ void ReliableChannel::transmit(NodeContext& ctx, std::uint64_t now) {
       send_item(link.acked);
       link.rto = std::min(link.rto * 2, options_.rto_max);
       link.timer_round = now;
-      ++stats_.retransmissions;
+      note_retransmit();
       sent = true;
     } else if (link.next_tx < static_cast<std::int64_t>(link.out.size()) &&
                link.next_tx - link.acked < options_.window) {
@@ -295,7 +310,7 @@ void ReliableChannel::transmit(NodeContext& ctx, std::uint64_t now) {
       // never competes with new items, so the backoff timer still governs
       // a busy link.
       send_item(link.acked);
-      ++stats_.retransmissions;
+      note_retransmit();
       sent = true;
     } else if (link.ack_due) {
       Message frame;

@@ -21,7 +21,11 @@
 //     copies) are discarded by sequence number;
 //   * an end-of-round flag on the last item of each logical round tells the
 //     receiver when a round's inbox is complete, and a FIN flag announces
-//     the inner protocol's halt so neighbours stop waiting.
+//     the inner protocol's halt so neighbours stop waiting;
+//   * retransmission is bounded: `max_retransmits` unacknowledged re-sends
+//     of a link's oldest item in a row mean the peer has crash-stopped
+//     (loss alone cannot sustain such a streak), and the channel raises a
+//     CheckError naming the dead link instead of spinning to round limit.
 //
 // The inner protocol executes logical round L only once every live link has
 // delivered its complete round-(L-1) traffic, with the inbox rebuilt in the
@@ -89,6 +93,15 @@ class ReliableChannel final : public Process {
     int window = 8;
     /// Quiet rounds to keep re-serving acks after the done-state holds.
     int linger = 64;
+    /// Consecutive retransmissions of a link's oldest unacked item (timer
+    /// and tail-loss probes alike, reset whenever the peer's cumulative
+    /// ack advances) before the channel declares the peer dead and raises
+    /// a CheckError naming the link. A crash-stopped peer never acks, so
+    /// without the bound the channel would spin to the engine round limit
+    /// with no diagnosis. The default survives any plausible loss streak
+    /// (even at 30% i.i.d. loss both ways, 64 unacknowledged retries is a
+    /// ~1e-19 event) while firing well before the round limit.
+    int max_retransmits = 64;
   };
 
   /// Largest opcode the inner protocol may use under the channel.
@@ -135,6 +148,7 @@ class ReliableChannel final : public Process {
     bool timer_armed = false;
     std::uint64_t timer_round = 0;
     int rto = 0;
+    int retx_count = 0;  ///< unacknowledged retransmissions in a row
 
     // Receive side. Both buffers recycle their heap storage across rounds
     // (the old unordered_map / deque churned a node allocation per frame

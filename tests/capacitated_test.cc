@@ -125,6 +125,42 @@ TEST(Capacitated, TighterCapacityNeverCheapens) {
   }
 }
 
+TEST(Capacitated, CapacityProfileSmokeThroughDistributedSolver) {
+  // The capacity_profile workload end-to-end through the reduction with
+  // the distributed engine as the UFL solver — the path dflp_cli's
+  // --capacity flag exercises.
+  workload::UniformParams up;
+  up.num_facilities = 8;
+  up.num_clients = 40;
+  up.client_degree = 4;
+  workload::CapacityProfileParams cp;
+  cp.capacity_lo = 3;
+  cp.capacity_hi = 12;
+  const SoftCapacitatedInstance inst =
+      workload::capacity_profile(workload::uniform_random(up, 6), cp, 13);
+
+  core::MwParams params;
+  params.k = 4;
+  params.seed = 5;
+  const SoftCapacitatedResult result =
+      solve_soft_capacitated(inst, [&](const Instance& ufl) {
+        return core::run_mw_greedy(ufl, params).solution;
+      });
+  EXPECT_TRUE(result.solution.is_feasible(inst.base));
+  EXPECT_GT(result.cost, 0.0);
+  // Serving 40 clients through capacities <= 12 needs >= ceil(40/12) = 4
+  // copies; the reduction must have paid them.
+  EXPECT_GE(result.total_copies, 4);
+  EXPECT_DOUBLE_EQ(result.cost, soft_capacitated_cost(inst, result.solution));
+
+  // Determinism: the whole reduction pipeline is a pure function.
+  const SoftCapacitatedResult again =
+      solve_soft_capacitated(inst, [&](const Instance& ufl) {
+        return core::run_mw_greedy(ufl, params).solution;
+      });
+  EXPECT_DOUBLE_EQ(again.cost, result.cost);
+}
+
 TEST(Capacitated, CostOfUnusedOpenFacilityCountsOneCopy) {
   InstanceBuilder b;
   const auto f0 = b.add_facility(5.0);

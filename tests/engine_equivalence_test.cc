@@ -17,8 +17,10 @@
 
 #include "common/check.h"
 #include "core/aggregate.h"
+#include "core/ftfp_greedy.h"
 #include "core/mw_greedy.h"
 #include "core/pipeline.h"
+#include "fl/ftfp.h"
 #include "netsim/trace.h"
 #include "workload/generators.h"
 
@@ -285,6 +287,62 @@ TEST_P(EngineEquivalenceTest, DiscoverBoundsBitIdenticalAcrossThreadCounts) {
     }
     EXPECT_EQ(trace, baseline) << "threads = " << threads;
   }
+}
+
+TEST_P(EngineEquivalenceTest, FtfpBitIdenticalAcrossThreadCounts) {
+  // The exclusion-phase solver is r_max unmodified engine runs, so it
+  // inherits the engine contract wholesale: for every delivery order and
+  // fault plan — including mid-run crash-stops, where the protocol fails
+  // loudly — the whole multi-phase solve (or its CheckError text) must be
+  // bit-identical across thread counts.
+  const fl::FtfpInstance inst = fl::with_uniform_requirement(
+      workload::make_family_instance(workload::Family::kUniform, 60, 7), 2);
+  std::string baseline;
+  for (int threads : kThreadCounts) {
+    const std::string trace = outcome_trace([&] {
+      core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/11);
+      params.num_threads = threads;
+      const core::FtfpOutcome out = core::run_ftfp_greedy(inst, params);
+      std::ostringstream os;
+      os << out.solution.fingerprint(inst) << " | phases " << out.phases;
+      for (const net::NetMetrics& m : out.phase_metrics)
+        os << " | " << metrics_fingerprint(m);
+      return os.str();
+    });
+    if (threads == 1) {
+      baseline = trace;
+      // The fault-free and recovered configurations must complete both
+      // phases; the unrecovered fault streams must fail loudly (and then
+      // identically everywhere).
+      if (GetParam().mode == FaultMode::kFaultFree ||
+          GetParam().mode == FaultMode::kRecovered) {
+        EXPECT_NE(trace.find("phases 2"), std::string::npos) << trace;
+      } else {
+        EXPECT_NE(trace.find("CheckError"), std::string::npos) << trace;
+      }
+      continue;
+    }
+    EXPECT_EQ(trace, baseline) << "threads = " << threads;
+  }
+}
+
+TEST_P(EngineEquivalenceTest, FtfpRecoveredMatchesFaultFreePlacement) {
+  // Placement-level redundancy and transport-level recovery must commute:
+  // the recovered lossy FTFP run returns the fault-free placement exactly.
+  if (GetParam().mode != FaultMode::kRecovered) GTEST_SKIP();
+  const fl::FtfpInstance inst = fl::with_uniform_requirement(
+      workload::make_family_instance(workload::Family::kUniform, 60, 7), 2);
+  core::MwParams clean;
+  clean.k = 4;
+  clean.seed = 11;
+  clean.delivery = GetParam().delivery;
+  const core::FtfpOutcome golden = core::run_ftfp_greedy(inst, clean);
+
+  core::MwParams params = sweep_params(GetParam(), /*k=*/4, /*seed=*/11);
+  const core::FtfpOutcome out = core::run_ftfp_greedy(inst, params);
+  EXPECT_EQ(out.solution.fingerprint(inst),
+            golden.solution.fingerprint(inst));
+  EXPECT_GT(out.metrics.dropped, 0u);
 }
 
 /// Deterministic trace payload: every field except wall-clock timings, the

@@ -135,6 +135,88 @@ TEST(ReliableChannel, DeliversInOrderUnderHeavyLossAndDuplication) {
   }
 }
 
+TEST(ReliableChannel, BoundedRetransmitsNameTheDeadLink) {
+  // Node 1 crash-stops at round 3 while node 0 still owes it traffic. The
+  // channel must not spin to the engine round limit: after max_retransmits
+  // unacknowledged re-sends it raises a CheckError naming the dead link.
+  net::Network::Options o;
+  o.bit_budget = net::reliable_bit_budget(64, 16);
+  o.seed = 42;
+  o.faults.crashes = {{1, 3}};
+  net::Network net(2, o);
+  net.add_edge(0, 1);
+  net.finalize();
+
+  net::ReliableChannel::Options ch;
+  ch.inner_bit_budget = 64;
+  ch.max_retransmits = 5;  // keep the test short
+  net.set_process(
+      0, std::make_unique<net::ReliableChannel>(
+             std::make_unique<Script>([](net::NodeContext& ctx, auto) {
+               if (ctx.round() < 8) {
+                 ctx.send(1, 1,
+                          {static_cast<std::int64_t>(ctx.round()) + 1, 0, 0});
+               } else {
+                 ctx.halt();
+               }
+             }),
+             ch));
+  net.set_process(1, std::make_unique<net::ReliableChannel>(
+                         std::make_unique<Script>([](auto&, auto) {}), ch));
+
+  try {
+    (void)net.run(/*max_rounds=*/400);
+    FAIL() << "expected the dead-link CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("reliable link 0 -> 1 is dead"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("crash-stopped"), std::string::npos) << what;
+  }
+}
+
+TEST(ReliableChannel, RetransmitBoundDoesNotTripOnHeavyLoss) {
+  // 30% loss with a live peer: retransmission streaks reset on every ack,
+  // so the default bound must never fire (the recovery guarantee of the
+  // drop tests depends on it).
+  net::Network::Options o;
+  o.bit_budget = net::reliable_bit_budget(64, 32);
+  o.seed = 9;
+  o.faults.drop_probability = 0.3;
+  o.faults.fault_seed = 3;
+  net::Network net(2, o);
+  net.add_edge(0, 1);
+  net.finalize();
+
+  auto received = std::make_shared<std::vector<std::int64_t>>();
+  net::ReliableChannel::Options ch;
+  ch.inner_bit_budget = 64;
+  net.set_process(
+      0, std::make_unique<net::ReliableChannel>(
+             std::make_unique<Script>([](net::NodeContext& ctx, auto) {
+               if (ctx.round() < 16) {
+                 ctx.send(1, 1,
+                          {static_cast<std::int64_t>(ctx.round()) + 1, 0, 0});
+               } else {
+                 ctx.halt();
+               }
+             }),
+             ch));
+  net.set_process(
+      1, std::make_unique<net::ReliableChannel>(
+             std::make_unique<Script>(
+                 [received](net::NodeContext& ctx,
+                            std::span<const net::Message> inbox) {
+                   for (const net::Message& m : inbox)
+                     received->push_back(m.field[0]);
+                   if (received->size() >= 16) ctx.halt();
+                 }),
+             ch));
+  const net::NetMetrics metrics = net.run(/*max_rounds=*/600);
+  EXPECT_EQ(received->size(), 16u);
+  EXPECT_GT(metrics.dropped, 0u);
+}
+
 core::MwParams clean_params(int k, std::uint64_t seed) {
   core::MwParams p;
   p.k = k;

@@ -1,0 +1,190 @@
+// Tests for the survivability harness: kill-set construction (exhaustive
+// single crashes and seeded FaultPlan-sampled fractions), post-crash
+// serving semantics, repair, and the r>=2 guarantee that motivates FTFP —
+// no single facility crash can orphan a client holding two distinct
+// assignments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/ftfp_greedy.h"
+#include "fl/ftfp.h"
+#include "harness/survive.h"
+#include "workload/generators.h"
+
+namespace dflp::harness {
+namespace {
+
+fl::FtfpInstance make_instance(std::int32_t r, std::uint64_t seed = 3) {
+  workload::UniformParams p;
+  p.num_facilities = 10;
+  p.num_clients = 50;
+  p.client_degree = 4;
+  return fl::with_uniform_requirement(workload::uniform_random(p, seed), r);
+}
+
+fl::FtfpSolution solve(const fl::FtfpInstance& inst, std::uint64_t seed = 1) {
+  core::MwParams params;
+  params.k = 4;
+  params.seed = seed;
+  return core::run_ftfp_greedy(inst, params).solution;
+}
+
+TEST(KillSets, SingleKillSetsEnumerateOpenedFacilities) {
+  const fl::FtfpInstance inst = make_instance(2);
+  const fl::FtfpSolution sol = solve(inst);
+  const std::vector<fl::FacilityId> opened = opened_facilities(sol, inst);
+  EXPECT_EQ(static_cast<int>(opened.size()), sol.num_open());
+  const std::vector<KillSet> sets = single_kill_sets(sol, inst);
+  ASSERT_EQ(sets.size(), opened.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    ASSERT_EQ(sets[i].killed.size(), 1u);
+    EXPECT_EQ(sets[i].killed[0], opened[i]);
+  }
+}
+
+TEST(KillSets, SampledKillSetIsSeededAndDeterministic) {
+  const fl::FtfpInstance inst = make_instance(2);
+  const fl::FtfpSolution sol = solve(inst);
+  const KillSet a = sample_kill_set(sol, inst, 0.5, 11);
+  const KillSet b = sample_kill_set(sol, inst, 0.5, 11);
+  EXPECT_EQ(a.killed, b.killed);
+  EXPECT_FALSE(a.killed.empty());  // 0.5 over >= 2 opened facilities
+
+  const KillSet c = sample_kill_set(sol, inst, 0.5, 12);
+  const KillSet d = sample_kill_set(sol, inst, 0.0, 11);
+  EXPECT_TRUE(d.killed.empty());
+  // A different seed draws a different subset (these particular seeds do).
+  EXPECT_NE(a.killed, c.killed);
+  // Every victim was actually open.
+  for (const fl::FacilityId i : a.killed) EXPECT_TRUE(sol.is_open(i));
+}
+
+TEST(Survive, RejectsKillingClosedFacilities) {
+  fl::InstanceBuilder b;
+  const auto f0 = b.add_facility(1.0);
+  const auto f1 = b.add_facility(1.0);  // stays closed
+  const auto c0 = b.add_client();
+  b.connect(f0, c0, 1.0);
+  b.connect(f1, c0, 2.0);
+  fl::FtfpInstance inst{b.build(), {1}};
+  fl::FtfpSolution sol(inst);
+  sol.open(f0);
+  sol.assign(c0, f0);
+  EXPECT_THROW((void)survive_crash(inst, sol, KillSet{"bad", {f1}}),
+               CheckError);
+}
+
+TEST(Survive, EmptyKillSetIsTheIdentity) {
+  const fl::FtfpInstance inst = make_instance(2);
+  const fl::FtfpSolution sol = solve(inst);
+  const SurvivalReport r = survive_crash(inst, sol, KillSet{"noop", {}});
+  EXPECT_TRUE(r.residual_feasible);
+  EXPECT_TRUE(r.repaired);
+  EXPECT_EQ(r.killed, 0);
+  EXPECT_EQ(r.rerouted_clients, 0);
+  EXPECT_EQ(r.reopened_facilities, 0);
+  EXPECT_DOUBLE_EQ(r.cost_residual, r.cost_intact);
+  EXPECT_DOUBLE_EQ(r.cost_ratio, 1.0);
+  EXPECT_EQ(r.surviving_open, sol.num_open());
+}
+
+TEST(Survive, RTwoPlacementSurvivesEverySingleCrash) {
+  // The headline guarantee: with two distinct facilities per client, no
+  // single crash orphans anyone — every kill set stays residually
+  // feasible with zero re-openings.
+  for (const std::uint64_t seed : {3ULL, 17ULL, 29ULL}) {
+    const fl::FtfpInstance inst = make_instance(2, seed);
+    const fl::FtfpSolution sol = solve(inst, seed);
+    const std::vector<SurvivalReport> reports =
+        run_survival_campaign(inst, sol, single_kill_sets(sol, inst));
+    const SurvivalSummary summary = summarize(reports);
+    EXPECT_EQ(summary.kill_sets, sol.num_open()) << "seed=" << seed;
+    EXPECT_EQ(summary.residual_feasible, summary.kill_sets)
+        << "seed=" << seed;
+    EXPECT_EQ(summary.worst_orphans, 0) << "seed=" << seed;
+    EXPECT_EQ(summary.total_reopened, 0u) << "seed=" << seed;
+  }
+}
+
+TEST(Survive, ROnePlacementOrphansClientsButRepairServesThem) {
+  const fl::FtfpInstance inst = make_instance(1);
+  const fl::FtfpSolution sol = solve(inst);
+  const std::vector<SurvivalReport> reports =
+      run_survival_campaign(inst, sol, single_kill_sets(sol, inst));
+  const SurvivalSummary summary = summarize(reports);
+  // Every opened facility serves someone (mw-greedy opens on demand), so
+  // at least one single crash must orphan a client...
+  EXPECT_LT(summary.residual_feasible, summary.kill_sets);
+  EXPECT_GT(summary.worst_orphans, 0);
+  // ...yet the instance is dense enough that repair always finds a
+  // surviving neighbour.
+  EXPECT_EQ(summary.repaired, summary.kill_sets);
+  for (const SurvivalReport& r : reports) {
+    if (r.residual_feasible) continue;
+    EXPECT_GT(r.orphaned_clients, 0);
+    EXPECT_GE(r.rerouted_clients, r.orphaned_clients);
+  }
+}
+
+TEST(Survive, ReportsReroutingCostAgainstIntactPrimary) {
+  // Hand instance: f0 cheap+near, f1 dear+far; both assigned to the only
+  // client (r=2). Killing f0 rerolls the primary onto f1.
+  fl::InstanceBuilder b;
+  const auto f0 = b.add_facility(1.0);
+  const auto f1 = b.add_facility(10.0);
+  const auto c0 = b.add_client();
+  b.connect(f0, c0, 2.0);
+  b.connect(f1, c0, 5.0);
+  fl::FtfpInstance inst{b.build(), {2}};
+  fl::FtfpSolution sol(inst);
+  sol.open(f0);
+  sol.open(f1);
+  sol.assign(c0, f0);
+  sol.assign(c0, f1);
+
+  const SurvivalReport r = survive_crash(inst, sol, KillSet{"kill-f0", {f0}});
+  EXPECT_TRUE(r.residual_feasible);  // f1 still assigned and standing
+  EXPECT_EQ(r.orphaned_clients, 0);
+  EXPECT_EQ(r.rerouted_clients, 1);
+  EXPECT_EQ(r.reopened_facilities, 0);
+  EXPECT_DOUBLE_EQ(r.cost_intact, 1.0 + 10.0 + 2.0);
+  EXPECT_DOUBLE_EQ(r.cost_residual, 10.0 + 5.0);
+  EXPECT_DOUBLE_EQ(r.reassignment_cost, 3.0);
+}
+
+TEST(Survive, RepairReopensWhenNoStandingNeighbourExists) {
+  // One client assigned only to f0; f1 is adjacent but closed. Killing f0
+  // forces an emergency re-opening of f1.
+  fl::InstanceBuilder b;
+  const auto f0 = b.add_facility(1.0);
+  const auto f1 = b.add_facility(4.0);
+  const auto c0 = b.add_client();
+  b.connect(f0, c0, 2.0);
+  b.connect(f1, c0, 3.0);
+  fl::FtfpInstance inst{b.build(), {1}};
+  fl::FtfpSolution sol(inst);
+  sol.open(f0);
+  sol.assign(c0, f0);
+
+  const SurvivalReport r = survive_crash(inst, sol, KillSet{"kill-f0", {f0}});
+  EXPECT_FALSE(r.residual_feasible);
+  EXPECT_TRUE(r.repaired);
+  EXPECT_EQ(r.orphaned_clients, 1);
+  EXPECT_EQ(r.reopened_facilities, 1);
+  EXPECT_DOUBLE_EQ(r.cost_residual, 4.0 + 3.0);
+
+  // Kill both reachable facilities: beyond repair.
+  fl::FtfpSolution both(inst);
+  both.open(f0);
+  both.open(f1);
+  both.assign(c0, f0);
+  const SurvivalReport dead =
+      survive_crash(inst, both, KillSet{"kill-all", {f0, f1}});
+  EXPECT_FALSE(dead.repaired);
+  EXPECT_EQ(dead.surviving_open, 0);
+}
+
+}  // namespace
+}  // namespace dflp::harness

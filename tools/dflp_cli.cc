@@ -45,10 +45,16 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "core/ftfp_greedy.h"
+#include "core/mw_greedy.h"
 #include "netsim/trace.h"
+#include "fl/capacitated.h"
+#include "fl/ftfp.h"
 #include "fl/serialize.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "harness/survive.h"
+#include "seq/greedy.h"
 #include "lp/dual_ascent.h"
 #include "lp/ufl_lp.h"
 #include "service/streaming_solver.h"
@@ -67,6 +73,11 @@ double g_crash_frac = 0.0;  ///< --crash-frac X: boot-crashed facility frac
 int g_burst_len = 0;        ///< --burst-len N: mean burst length in rounds
 std::uint64_t g_fault_seed = 0;  ///< --fault-seed S
 bool g_reliable = false;         ///< --reliable: wrap in ReliableChannel
+/// Fault-tolerant placement flags (solve only).
+std::int32_t g_coverage = 1;    ///< --coverage R: r_j = R distinct facilities
+double g_kill_frac = 0.0;       ///< --kill-frac X: crash X of opened facilities
+std::uint64_t g_kill_seed = 0;  ///< --kill-seed S: kill-set sampling seed
+std::int32_t g_capacity = 0;    ///< --capacity U: soft capacity (0 = off)
 /// Tracing flags (solve only; see docs/trace-schema.md).
 std::string g_trace_path;  ///< --trace <path>: write a round-level trace
 net::TraceFormat g_trace_format = net::TraceFormat::kJsonl;
@@ -94,6 +105,16 @@ int usage(std::ostream& out = std::cerr, int code = 2) {
          "         --burst-len N  (Gilbert-Elliott bursts, mean N rounds)\n"
          "         --fault-seed S (seed of the fault schedule streams)\n"
          "         --reliable     (reliable-transport recovery layer)\n"
+         "         --coverage R   (solve, mw-greedy only: fault-tolerant\n"
+         "                         placement with R distinct facilities per\n"
+         "                         client, via the exclusion-phase solver)\n"
+         "         --kill-frac X  (with --coverage: crash a seeded fraction\n"
+         "                         X of the opened facilities post-solve and\n"
+         "                         report survivability)\n"
+         "         --kill-seed S  (kill-set sampling seed; default 0)\n"
+         "         --capacity U   (solve, mw-greedy/seq-greedy: soft\n"
+         "                         capacity U per facility via the\n"
+         "                         c'=c+f/u reduction)\n"
          "         --trace PATH   (solve only: write a round-level trace;\n"
          "                         see docs/trace-schema.md)\n"
          "         --trace-format jsonl|chrome\n"
@@ -215,6 +236,110 @@ int cmd_bounds(int argc, char** argv) {
   return 0;
 }
 
+/// `solve` with --capacity: the soft-capacitated reduction wrapped around
+/// a UFL solver (distributed mw-greedy or the centralized greedy).
+int solve_capacitated(const std::string& algo_name, const fl::Instance& inst,
+                      const core::MwParams& params) {
+  if (algo_name != "mw-greedy" && algo_name != "seq-greedy") {
+    std::cerr << "--capacity supports mw-greedy and seq-greedy\n";
+    return 2;
+  }
+  fl::SoftCapacitatedInstance cap;
+  cap.base = inst;
+  cap.capacity.assign(static_cast<std::size_t>(inst.num_facilities()),
+                      g_capacity);
+  const fl::SoftCapacitatedResult result = fl::solve_soft_capacitated(
+      cap, [&](const fl::Instance& reduced) {
+        if (algo_name == "seq-greedy")
+          return seq::greedy_solve(reduced).solution;
+        return core::run_mw_greedy(reduced, params).solution;
+      });
+  Table table({"algo", "capacity", "cost", "copies", "open", "feasible"});
+  int open_count = 0;
+  for (fl::FacilityId i = 0; i < inst.num_facilities(); ++i)
+    if (result.solution.is_open(i)) ++open_count;
+  table.row()
+      .cell(algo_name)
+      .cell(g_capacity)
+      .cell(result.cost, 2)
+      .cell(result.total_copies)
+      .cell(open_count)
+      .cell(result.solution.is_feasible(inst) ? "yes" : "NO");
+  harness::print_section(
+      "soft-capacitated " + algo_name + " on " + inst.describe(),
+      "reduction c'_ij = c_ij + f_i/u_i, u_i = " +
+          std::to_string(g_capacity),
+      table);
+  return 0;
+}
+
+/// `solve` with --coverage / --kill-frac: the FTFP exclusion-phase solver,
+/// optionally followed by a post-deployment survivability campaign.
+int solve_ftfp(const std::string& algo_name, const fl::Instance& inst,
+               const core::MwParams& params) {
+  if (algo_name != "mw-greedy") {
+    std::cerr << "--coverage/--kill-frac support mw-greedy only\n";
+    return 2;
+  }
+  const fl::FtfpInstance ftfp =
+      fl::with_uniform_requirement(inst, g_coverage);
+  const core::FtfpOutcome out = core::run_ftfp_greedy(ftfp, params);
+  Table table({"r", "cost", "open", "phases", "rounds", "messages",
+               "feasible"});
+  table.row()
+      .cell(g_coverage)
+      .cell(out.solution.cost(ftfp), 2)
+      .cell(out.solution.num_open())
+      .cell(out.phases)
+      .cell(out.metrics.rounds)
+      .cell(out.metrics.messages)
+      .cell(out.solution.is_feasible(ftfp) ? "yes" : "NO");
+  harness::print_section("ftfp mw-greedy on " + ftfp.describe(), "", table);
+
+  // Survivability: exhaustive single-facility crashes, plus the seeded
+  // fractional kill set when --kill-frac is given.
+  std::vector<harness::KillSet> kills =
+      harness::single_kill_sets(out.solution, ftfp);
+  if (g_kill_frac > 0.0) {
+    kills.push_back(harness::sample_kill_set(out.solution, ftfp, g_kill_frac,
+                                             g_kill_seed));
+  }
+  const std::vector<harness::SurvivalReport> reports =
+      harness::run_survival_campaign(ftfp, out.solution, kills);
+  const harness::SurvivalSummary single = harness::summarize(
+      {reports.begin(),
+       reports.begin() + static_cast<std::ptrdiff_t>(
+                             reports.size() - (g_kill_frac > 0.0 ? 1 : 0))});
+  Table surv({"kill-set", "killed", "feasible", "orphans", "rerouted",
+              "reopened", "cost-ratio"});
+  surv.row()
+      .cell("single-crash x" + std::to_string(single.kill_sets))
+      .cell(1)
+      .cell(std::to_string(single.residual_feasible) + "/" +
+            std::to_string(single.kill_sets))
+      .cell(single.worst_orphans)
+      .cell(single.total_rerouted)
+      .cell(single.total_reopened)
+      .cell(single.worst_cost_ratio, 3);
+  if (g_kill_frac > 0.0) {
+    const harness::SurvivalReport& r = reports.back();
+    surv.row()
+        .cell(r.kill_set)
+        .cell(r.killed)
+        .cell(r.residual_feasible ? "yes" : (r.repaired ? "repaired" : "NO"))
+        .cell(r.orphaned_clients)
+        .cell(r.rerouted_clients)
+        .cell(r.reopened_facilities)
+        .cell(r.cost_ratio, 3);
+  }
+  harness::print_section("survivability of the r=" +
+                             std::to_string(g_coverage) + " placement",
+                         "single-crash rows aggregate worst case over all "
+                         "opened facilities",
+                         surv);
+  return 0;
+}
+
 int cmd_solve(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string algo_name = argv[2];
@@ -228,6 +353,13 @@ int cmd_solve(int argc, char** argv) {
   params.trace_path = g_trace_path;
   params.trace_format = g_trace_format;
   params.trace_phases = g_trace_phases;
+  if (g_capacity > 0 && (g_coverage > 1 || g_kill_frac > 0.0)) {
+    std::cerr << "--capacity cannot be combined with --coverage/--kill-frac\n";
+    return 2;
+  }
+  if (g_capacity > 0) return solve_capacitated(algo_name, inst, params);
+  if (g_coverage > 1 || g_kill_frac > 0.0)
+    return solve_ftfp(algo_name, inst, params);
   for (const auto& [name, algo] : algo_registry()) {
     if (name == algo_name) {
       const harness::LowerBound lb = harness::compute_lower_bound(inst);
@@ -408,6 +540,42 @@ int main(int argc, char** argv) {
     }
     if (arg == "--reliable") {
       g_reliable = true;
+      continue;
+    }
+    if (arg == "--coverage") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_coverage = std::atoi(v);
+      if (g_coverage < 1) {
+        std::cerr << "--coverage must be >= 1\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--kill-frac") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_kill_frac = std::atof(v);
+      if (g_kill_frac < 0.0 || g_kill_frac > 1.0) {
+        std::cerr << "--kill-frac must be in [0, 1]\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--kill-seed") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_kill_seed = static_cast<std::uint64_t>(std::atoll(v));
+      continue;
+    }
+    if (arg == "--capacity") {
+      const char* v = take_value();
+      if (v == nullptr) return usage();
+      g_capacity = std::atoi(v);
+      if (g_capacity < 1) {
+        std::cerr << "--capacity must be >= 1\n";
+        return 2;
+      }
       continue;
     }
     if (arg == "--trace") {
