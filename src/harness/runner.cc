@@ -3,7 +3,9 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "core/clique_fl.h"
 #include "core/ideal_greedy.h"
+#include "core/metric_baseline.h"
 #include "core/mw_greedy.h"
 #include "core/pipeline.h"
 #include "harness/faults.h"
@@ -40,6 +42,10 @@ std::string algo_name(Algo algo) {
       return "open-all";
     case Algo::kNearestFacility:
       return "nearest-facility";
+    case Algo::kLiJms:
+      return "li-jms";
+    case Algo::kCliqueFl:
+      return "clique-fl";
   }
   return "unknown";
 }
@@ -69,7 +75,9 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
                         const core::MwParams& params, const LowerBound& lb) {
   RunResult result;
   result.algo = algo_name(algo);
-  const bool distributed = algo == Algo::kMwGreedy || algo == Algo::kPipeline;
+  const bool distributed = algo == Algo::kMwGreedy ||
+                           algo == Algo::kPipeline ||
+                           algo == Algo::kCliqueFl;
   if (distributed) result.threads = params.num_threads;
 
   // File-level tracing: the harness owns the Tracer, hands the runners a
@@ -145,6 +153,30 @@ RunResult run_algorithm(Algo algo, const fl::Instance& inst,
     case Algo::kNearestFacility:
       sol = seq::nearest_facility_solve(inst);
       break;
+    case Algo::kLiJms:
+      sol = core::li_jms_solve(inst).solution;
+      break;
+    case Algo::kCliqueFl: {
+      // Clique runs reuse the MwParams engine knobs; the closure overload
+      // requires a complete bipartite (metric) instance and throws
+      // otherwise.
+      core::CliqueFlParams cp;
+      cp.seed = run_params.seed;
+      cp.num_threads = run_params.num_threads;
+      cp.delivery = run_params.delivery;
+      cp.faults = run_params.faults;
+      cp.tracer = run_params.tracer;
+      core::CliqueFlOutcome out = core::run_clique_fl(inst, cp);
+      sol = std::move(out.solution);
+      result.rounds = out.metrics.rounds;
+      result.messages = out.metrics.messages;
+      result.total_bits = out.metrics.total_bits;
+      result.max_message_bits = out.metrics.max_message_bits;
+      result.dropped = out.metrics.dropped;
+      result.duplicated = out.metrics.duplicated;
+      result.crashed = out.metrics.crashed;
+      break;
+    }
   }
 
   const auto stop = std::chrono::steady_clock::now();

@@ -24,6 +24,8 @@ enum class Algo : std::uint8_t {
   kLocalSearch,  ///< add/drop/swap local search (3+eps on metric)
   kOpenAll,
   kNearestFacility,
+  kLiJms,     ///< Li 1.488-style scaled-JMS portfolio (metric baseline)
+  kCliqueFl,  ///< BHP congested-clique solver (complete bipartite only)
 };
 
 [[nodiscard]] std::string algo_name(Algo algo);

@@ -78,6 +78,10 @@ Network::~Network() = default;
 
 void Network::add_edge(NodeId u, NodeId v) {
   DFLP_CHECK_MSG(!finalized_, "add_edge after finalize");
+  DFLP_CHECK_MSG(options_.topology != Topology::kClique,
+                 "add_edge (" << u << "," << v
+                              << ") under Topology::kClique — the clique's "
+                                 "edges are implicit");
   const auto n = static_cast<NodeId>(processes_.size());
   DFLP_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
                  "edge (" << u << "," << v << ") out of range, n=" << n);
@@ -103,28 +107,43 @@ void Network::finalize() {
                      << options_.num_threads);
   fault_plan_ = FaultPlan(options_.faults, options_.seed, n);
 
-  std::vector<std::int32_t> degree(n, 0);
-  for (auto [u, v] : edge_buffer_) {
-    ++degree[static_cast<std::size_t>(u)];
-    ++degree[static_cast<std::size_t>(v)];
+  clique_ = options_.topology == Topology::kClique;
+  if (clique_) {
+    // Implicit all-to-all adjacency: the rotation array clique_adj_[k] =
+    // k mod n gives every node its N-1 neighbour span in O(n) total
+    // storage; no CSR, no per-directed-edge allowance slab.
+    DFLP_CHECK_MSG(n >= 2, "Topology::kClique needs >= 2 nodes; got " << n);
+    clique_adj_.resize(2 * n - 1);
+    for (std::size_t k = 0; k < clique_adj_.size(); ++k)
+      clique_adj_[k] = static_cast<NodeId>(k < n ? k : k - n);
+    num_edges_ = n * (n - 1) / 2;
+  } else {
+    std::vector<std::int32_t> degree(n, 0);
+    for (auto [u, v] : edge_buffer_) {
+      ++degree[static_cast<std::size_t>(u)];
+      ++degree[static_cast<std::size_t>(v)];
+    }
+    adj_offset_.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      adj_offset_[i + 1] = adj_offset_[i] + degree[i];
+    adj_.assign(static_cast<std::size_t>(adj_offset_[n]), kNoNode);
+    std::vector<std::int32_t> cursor(adj_offset_.begin(),
+                                     adj_offset_.end() - 1);
+    for (auto [u, v] : edge_buffer_) {
+      adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] =
+          v;
+      adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+          u;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto begin = adj_.begin() + adj_offset_[i];
+      auto end = adj_.begin() + adj_offset_[i + 1];
+      std::sort(begin, end);
+      DFLP_CHECK_MSG(std::adjacent_find(begin, end) == end,
+                     "duplicate edge at node " << i);
+    }
+    num_edges_ = edge_buffer_.size();
   }
-  adj_offset_.assign(n + 1, 0);
-  for (std::size_t i = 0; i < n; ++i)
-    adj_offset_[i + 1] = adj_offset_[i] + degree[i];
-  adj_.assign(static_cast<std::size_t>(adj_offset_[n]), kNoNode);
-  std::vector<std::int32_t> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
-  for (auto [u, v] : edge_buffer_) {
-    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
-    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    auto begin = adj_.begin() + adj_offset_[i];
-    auto end = adj_.begin() + adj_offset_[i + 1];
-    std::sort(begin, end);
-    DFLP_CHECK_MSG(std::adjacent_find(begin, end) == end,
-                   "duplicate edge at node " << i);
-  }
-  num_edges_ = edge_buffer_.size();
   edge_buffer_.clear();
   edge_buffer_.shrink_to_fit();
 
@@ -146,6 +165,14 @@ void Network::finalize() {
   header_scratch_.resize(num_shards);
   for (auto& set : rec_ranges_) set.assign(n, RecRange{});
   edge_sends_slab_.assign(adj_.size(), 0);
+  if (clique_) {
+    clique_scratch_.resize(num_shards);
+    for (CliqueScratch& cs : clique_scratch_) {
+      cs.stamp.assign(n, 0);
+      cs.counts.assign(n, 0);
+      cs.epoch = 0;  // begin() bumps before first use, so stamp 0 is stale
+    }
+  }
   slice_begin_.assign(n, 0);
   slice_count_.assign(n, 0);
   dst_count_.assign(n, 0);
@@ -195,18 +222,10 @@ std::span<Message> Network::gather_inbox(std::size_t i,
     const std::vector<RecRange>& ranges =
         rec_ranges_[static_cast<std::size_t>(round_ & 1) ^ 1u];
     const NodeId self = static_cast<NodeId>(i);
-    const std::span<const NodeId> nbrs = neighbors_unchecked(i);
     std::size_t count = 0;
-    for (std::size_t idx = 0; idx < nbrs.size(); ++idx) {
-      // One prefetched line per neighbour: the stamp replicates the first
-      // staged record inline, so the common one-record-per-sender case is a
-      // single random read with no dependent stamp -> record chase.
-      if (idx + kScanPrefetch < nbrs.size())
-        __builtin_prefetch(
-            &ranges[static_cast<std::size_t>(nbrs[idx + kScanPrefetch])]);
-      const NodeId u = nbrs[idx];
+    const auto scan_sender = [&](NodeId u) {
       const RecRange& range = ranges[static_cast<std::size_t>(u)];
-      if (range.round + 1 != round_) continue;  // u did not step last round
+      if (range.round + 1 != round_) return;  // u did not step last round
       for (std::uint32_t ri = range.lo; ri < range.hi; ++ri) {
         const WireRecord& rec = ri == range.lo
                                     ? range.first
@@ -237,6 +256,28 @@ std::span<Message> Network::gather_inbox(std::size_t i,
           m.has_header = false;
         }
       }
+    };
+    if (clique_) {
+      // Implicit all-to-all: every other node is an in-neighbour. Ascending
+      // id order (not the rotated neighbour span) keeps the inbox in the
+      // canonical ascending-source order the arena path produces.
+      const std::size_t n = processes_.size();
+      for (std::size_t u = 0; u < n; ++u) {
+        if (u + kScanPrefetch < n) __builtin_prefetch(&ranges[u + kScanPrefetch]);
+        if (u == i) continue;
+        scan_sender(static_cast<NodeId>(u));
+      }
+      return {scratch.data(), count};
+    }
+    const std::span<const NodeId> nbrs = neighbors_unchecked(i);
+    for (std::size_t idx = 0; idx < nbrs.size(); ++idx) {
+      // One prefetched line per neighbour: the stamp replicates the first
+      // staged record inline, so the common one-record-per-sender case is a
+      // single random read with no dependent stamp -> record chase.
+      if (idx + kScanPrefetch < nbrs.size())
+        __builtin_prefetch(
+            &ranges[static_cast<std::size_t>(nbrs[idx + kScanPrefetch])]);
+      scan_sender(nbrs[idx]);
     }
     return {scratch.data(), count};
   }
@@ -308,6 +349,22 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
   if (!executor_)
     executor_ = std::make_unique<ParallelExecutor>(options_.num_threads);
   const std::size_t n = processes_.size();
+
+  // Broadcast destination expansion in canonical order: explicit topologies
+  // walk the sender's sorted adjacency; the clique iterates every node id
+  // ascending, skipping the sender — the same ascending order, with no
+  // materialized per-node list to walk.
+  const auto for_each_broadcast_dst = [&](NodeId src, auto&& fn) {
+    if (clique_) {
+      const auto s = static_cast<std::size_t>(src);
+      for (std::size_t v = 0; v < n; ++v)
+        if (v != s) fn(static_cast<NodeId>(v));
+    } else {
+      for (const NodeId nb :
+           neighbors_unchecked(static_cast<std::size_t>(src)))
+        fn(nb);
+    }
+  };
 
   const bool hazards = fault_plan_.message_hazards();
   RoundBuffer::Limits limits;
@@ -454,8 +511,14 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
         order_inbox(inbox, id);
         const std::span<const NodeId> nbrs = neighbors_unchecked(i);
         const auto rec_lo = static_cast<std::uint32_t>(log.records.size());
-        buffer.begin(id, round_, nbrs, limits, &log,
-                     {edge_sends_slab_.data() + adj_offset_[i], nbrs.size()});
+        if (clique_) {
+          buffer.begin(id, round_, nbrs, limits, &log, {},
+                       &clique_scratch_[li]);
+        } else {
+          buffer.begin(
+              id, round_, nbrs, limits, &log,
+              {edge_sends_slab_.data() + adj_offset_[i], nbrs.size()});
+        }
         NodeContext ctx(buffer, id, round_, nbrs, node_rngs_[i]);
         processes_[i]->on_round(ctx, std::span<const Message>(inbox));
         // Stamp where this node's records landed so a scan-mode gather can
@@ -573,9 +636,7 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
           }
         };
         if (rec.flags & kWireBroadcast) {
-          for (const NodeId nb :
-               neighbors_unchecked(static_cast<std::size_t>(rec.src)))
-            deliver_copy(nb);
+          for_each_broadcast_dst(rec.src, deliver_copy);
         } else {
           deliver_copy(rec.dst);
         }
@@ -627,11 +688,10 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
         for (const std::size_t li : log_order_) {
           for (const WireRecord& rec : logs[li].records) {
             if (rec.flags & kWireBroadcast) {
-              for (const NodeId nb :
-                   neighbors_unchecked(static_cast<std::size_t>(rec.src))) {
+              for_each_broadcast_dst(rec.src, [&](NodeId nb) {
                 if (dst_count_[static_cast<std::size_t>(nb)]++ == 0)
                   next_touched_.push_back(nb);
-              }
+              });
             } else {
               if (dst_count_[static_cast<std::size_t>(rec.dst)]++ == 0)
                 next_touched_.push_back(rec.dst);
@@ -721,6 +781,17 @@ NetMetrics Network::run(std::uint64_t max_rounds) {
           for (std::size_t ri = 0; ri < log.records.size(); ++ri) {
             const WireRecord& rec = log.records[ri];
             if (rec.flags & kWireBroadcast) {
+              if (clique_) {
+                // All-to-all fan-out: the shard's owned destination range
+                // IS the copy set (minus the sender) — walk it directly,
+                // ascending, instead of filtering an adjacency list.
+                const auto src = static_cast<std::size_t>(rec.src);
+                for (std::size_t dst = d_lo; dst < d_hi; ++dst) {
+                  if (dst == src) continue;
+                  next_arena_[dst_cursor_[dst]++] = &rec;
+                }
+                continue;
+              }
               const std::span<const NodeId> nbrs =
                   neighbors_unchecked(static_cast<std::size_t>(rec.src));
               for (std::size_t j = 0; j < nbrs.size(); ++j) {

@@ -112,6 +112,27 @@
 // picks up at round `r+1` with the in-flight messages intact. Multi-stage
 // pipelines rely on this; tests/netsim_test.cc pins it.
 //
+// Congested-clique topology
+// -------------------------
+// `Options::topology = Topology::kClique` declares the complete graph on N
+// nodes without materializing it: no O(N^2) edge list, no CSR adjacency, no
+// per-directed-edge allowance slab. Adjacency is answered from one shared
+// rotation array of 2N-1 node ids (`clique_adj_[k] = k mod N`), so node i's
+// neighbour span is the N-1 ids starting after its own — every node except
+// i, beginning at i+1 and wrapping. The span is a *rotation*, not sorted;
+// engine-internal expansion (scan gathers, hazard coins, histogram rebuilds,
+// the commit scatter) instead iterates destinations in ascending id order
+// skipping the sender, which keeps `kBySource` the canonical ascending-source
+// order and the per-copy fault-coin stream identical to an explicit clique.
+// Per-link legality is enforced exactly as in explicit topologies — the
+// RoundBuffer charges each (sender, destination) pair against
+// `max_msgs_per_edge_per_round` through an epoch-stamped per-shard scratch
+// (O(1) per send, no O(N) zero-fill per node) — and a broadcast is still ONE
+// staged record whose N-1 per-link bills (allowance, messages, bits) are
+// settled analytically at stage time. add_edge() is rejected; everything
+// else (faults, delivery orders, tracing, determinism across thread counts)
+// composes unchanged.
+//
 // Fault injection
 // ---------------
 // `Options::faults` configures a seeded, deterministic FaultPlan
@@ -141,6 +162,28 @@ namespace dflp::net {
 class Network;
 class ParallelExecutor;
 class Tracer;
+
+/// How the communication graph is declared.
+enum class Topology : std::uint8_t {
+  /// Explicit edge list via add_edge(); CSR adjacency built at finalize().
+  kExplicit,
+  /// Congested clique: every pair of nodes is adjacent, represented
+  /// implicitly (see the header comment). add_edge() is rejected.
+  kClique,
+};
+
+/// Per-step-shard allowance scratch for clique topology: the per-directed-
+/// edge CSR slab would be O(N^2), so clique sends are charged against a
+/// destination-indexed counter column instead. Entries are epoch-stamped —
+/// RoundBuffer::begin() bumps `epoch` and a stale stamp reads as zero — so
+/// re-arming per node is O(1), not an O(N) zero-fill. Broadcast allowance is
+/// tracked by the RoundBuffer as a per-step counter added on top of every
+/// destination's unicast count.
+struct CliqueScratch {
+  std::vector<std::uint64_t> stamp;  ///< last epoch that wrote counts[dst]
+  std::vector<std::int8_t> counts;   ///< unicasts staged to dst this epoch
+  std::uint64_t epoch = 0;           ///< bumped once per (node, round) step
+};
 
 /// One TransportHeader parked in a staging log's sparse side list, keyed by
 /// the index of its record within the log (ascending). Only reliable-channel
@@ -310,6 +353,9 @@ enum class DeliveryOrder : std::uint8_t {
 class Network final {
  public:
   struct Options {
+    /// Communication graph declaration: explicit edge list (default) or
+    /// the implicit congested clique (see the header comment).
+    Topology topology = Topology::kExplicit;
     /// Per-message budget in bits. The canonical CONGEST budget for an
     /// N-node network is `congest_bit_budget(N)`.
     int bit_budget = 64;
@@ -337,7 +383,8 @@ class Network final {
   ~Network();
 
   /// Adds an undirected edge. Must be called before finalize(). Self loops
-  /// and duplicate edges are rejected.
+  /// and duplicate edges are rejected, as is any call under
+  /// Topology::kClique (the clique's edges are implicit).
   void add_edge(NodeId u, NodeId v);
 
   /// Freezes the topology (builds adjacency), validates the options
@@ -360,6 +407,9 @@ class Network final {
     return processes_.size();
   }
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  /// Node `id`'s adjacency. Explicit topologies return the sorted CSR
+  /// neighbour list; the clique returns the implicit rotation
+  /// [id+1, ..., N-1, 0, ..., id-1] — every node except `id`, unsorted.
   [[nodiscard]] std::span<const NodeId> neighbors_of(NodeId id) const;
   [[nodiscard]] bool halted(NodeId id) const;
   [[nodiscard]] bool all_halted() const noexcept {
@@ -395,6 +445,8 @@ class Network final {
   /// per-call checking.
   [[nodiscard]] std::span<const NodeId> neighbors_unchecked(
       std::size_t i) const noexcept {
+    if (clique_)
+      return {clique_adj_.data() + i + 1, processes_.size() - 1};
     return {adj_.data() + adj_offset_[i],
             static_cast<std::size_t>(adj_offset_[i + 1] - adj_offset_[i])};
   }
@@ -413,10 +465,19 @@ class Network final {
   bool finalized_ = false;
   std::size_t num_edges_ = 0;
 
-  // CSR adjacency (sorted neighbour lists).
+  // CSR adjacency (sorted neighbour lists). Unused under Topology::kClique,
+  // where adjacency is the shared rotation array below.
   std::vector<std::pair<NodeId, NodeId>> edge_buffer_;  // pre-finalize
   std::vector<std::int32_t> adj_offset_;
   std::vector<NodeId> adj_;
+
+  // Clique topology: clique_adj_[k] = k mod N over 2N-1 entries, so node
+  // i's neighbour span is clique_adj_[i+1 .. i+N-1] — O(N) storage for all
+  // N implicit adjacency lists. clique_scratch_ holds one epoch-stamped
+  // allowance column per step shard (claimed with the shard's StageLog).
+  bool clique_ = false;
+  std::vector<NodeId> clique_adj_;
+  std::vector<CliqueScratch> clique_scratch_;
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> node_rngs_;

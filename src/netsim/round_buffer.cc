@@ -25,7 +25,8 @@ void StageLog::reset() noexcept {
 void RoundBuffer::begin(NodeId node, std::uint64_t round,
                         std::span<const NodeId> neighbors,
                         const Limits& limits, StageLog* log,
-                        std::span<std::int8_t> edge_scratch) {
+                        std::span<std::int8_t> edge_scratch,
+                        CliqueScratch* clique) {
   owner_ = node;
   round_ = round;
   neighbors_ = neighbors;
@@ -36,7 +37,17 @@ void RoundBuffer::begin(NodeId node, std::uint64_t round,
   }
   log_ = log;
   rec_begin_ = log_->records.size();
-  if (edge_scratch.empty() && !neighbors.empty()) {
+  clique_ = clique;
+  clique_broadcasts_ = 0;
+  clique_max_unicast_ = 0;
+  if (clique != nullptr) {
+    // Epoch bump invalidates every stale allowance count in O(1); the
+    // neighbour-indexed slab path below would zero-fill N-1 slots per node.
+    DFLP_CHECK_MSG(edge_scratch.empty(),
+                   "clique mode supplies no per-edge scratch slab");
+    ++clique->epoch;
+    edge_sends_ = {};
+  } else if (edge_scratch.empty() && !neighbors.empty()) {
     edge_store_.assign(neighbors.size(), 0);
     edge_sends_ = edge_store_;
   } else {
@@ -44,6 +55,20 @@ void RoundBuffer::begin(NodeId node, std::uint64_t round,
     edge_sends_ = edge_scratch;
   }
   halt_ = false;
+}
+
+void RoundBuffer::clique_charge_unicast(NodeId from, NodeId to) {
+  CliqueScratch& cs = *clique_;
+  const auto d = static_cast<std::size_t>(to);
+  if (cs.stamp[d] != cs.epoch) {
+    cs.stamp[d] = cs.epoch;
+    cs.counts[d] = 0;
+  }
+  DFLP_CHECK_MSG(
+      cs.counts[d] + clique_broadcasts_ < limits_.max_msgs_per_edge_per_round,
+      "edge allowance exceeded on " << from << "->" << to << " in round "
+                                    << round_);
+  clique_max_unicast_ = std::max(clique_max_unicast_, ++cs.counts[d]);
 }
 
 void RoundBuffer::stage_single(const WireRecord& rec) {
@@ -70,10 +95,40 @@ void RoundBuffer::sink_send(NodeId from, NodeId to, std::uint8_t kind,
                            << " exceeds the allowed maximum "
                            << static_cast<int>(limits_.max_kind)
                            << " (reserved for transport control traffic)");
-  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
-  DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
-                 "node " << from << " is not adjacent to " << to);
+  if (clique_ == nullptr) {
+    const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
+    DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
+                   "node " << from << " is not adjacent to " << to);
 
+    WireRecord rec;
+    rec.src = from;
+    rec.dst = to;
+    rec.kind = kind;
+    rec.field = fields;
+    const int honest = min_payload_bits(fields);
+    rec.bits = bits < 0 ? honest : bits;
+    DFLP_CHECK_MSG(rec.bits >= honest,
+                   "declared " << rec.bits << " bits < honest size " << honest);
+    DFLP_CHECK_MSG(rec.bits <= limits_.bit_budget,
+                   "message of " << rec.bits << " bits exceeds CONGEST budget "
+                                 << limits_.bit_budget << " (kind="
+                                 << static_cast<int>(kind) << ")");
+
+    const auto idx = static_cast<std::size_t>(it - neighbors_.begin());
+    DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
+                   "edge allowance exceeded on " << from << "->" << to
+                                                 << " in round " << round_);
+    ++edge_sends_[idx];
+    stage_single(rec);
+    return;
+  }
+
+  // Clique: adjacency is "any other node"; the allowance is charged against
+  // the epoch-stamped destination column instead of a neighbour index.
+  const auto num_nodes = static_cast<NodeId>(clique_->counts.size());
+  DFLP_CHECK_MSG(to >= 0 && to < num_nodes && to != from,
+                 "node " << from << " is not adjacent to " << to
+                         << " (clique of " << num_nodes << " nodes)");
   WireRecord rec;
   rec.src = from;
   rec.dst = to;
@@ -87,12 +142,7 @@ void RoundBuffer::sink_send(NodeId from, NodeId to, std::uint8_t kind,
                  "message of " << rec.bits << " bits exceeds CONGEST budget "
                                << limits_.bit_budget << " (kind="
                                << static_cast<int>(kind) << ")");
-
-  const auto idx = static_cast<std::size_t>(it - neighbors_.begin());
-  DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
-                 "edge allowance exceeded on " << from << "->" << to
-                                               << " in round " << round_);
-  ++edge_sends_[idx];
+  clique_charge_unicast(from, to);
   stage_single(rec);
 }
 
@@ -124,21 +174,41 @@ void RoundBuffer::sink_broadcast(NodeId from, std::span<const NodeId>,
                                << limits_.bit_budget << " (kind="
                                << static_cast<int>(kind) << ")");
 
-  // One fused pass over the adjacency settles the per-edge allowance and
-  // the stage-time destination histogram; the copies themselves are never
-  // materialized — the record below stands for all of them and the CONGEST
-  // bill is batched analytically.
   StageLog& log = *log_;
   const bool tally = limits_.tally_destinations;
-  for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
-    DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
-                   "edge allowance exceeded on " << from << "->"
-                                                 << neighbors_[idx]
-                                                 << " in round " << round_);
-    ++edge_sends_[idx];
+  if (clique_ != nullptr) {
+    // Every link carries this broadcast, so the per-link composite count
+    // (unicasts to that destination + broadcasts) rises by one everywhere
+    // at once: one comparison against the unicast high-water mark settles
+    // all N-1 allowance checks.
+    DFLP_CHECK_MSG(
+        clique_max_unicast_ + clique_broadcasts_ <
+            limits_.max_msgs_per_edge_per_round,
+        "edge allowance exceeded by broadcast from " << from << " in round "
+                                                     << round_);
+    ++clique_broadcasts_;
     if (tally) {
-      const auto dst = static_cast<std::size_t>(neighbors_[idx]);
-      if (log.dst_count[dst]++ == 0) log.touched.push_back(neighbors_[idx]);
+      for (std::size_t dst = 0; dst < clique_->counts.size(); ++dst) {
+        if (dst == static_cast<std::size_t>(from)) continue;
+        if (log.dst_count[dst]++ == 0)
+          log.touched.push_back(static_cast<NodeId>(dst));
+      }
+    }
+  } else {
+    // One fused pass over the adjacency settles the per-edge allowance and
+    // the stage-time destination histogram; the copies themselves are never
+    // materialized — the record below stands for all of them and the CONGEST
+    // bill is batched analytically.
+    for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
+      DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
+                     "edge allowance exceeded on " << from << "->"
+                                                   << neighbors_[idx]
+                                                   << " in round " << round_);
+      ++edge_sends_[idx];
+      if (tally) {
+        const auto dst = static_cast<std::size_t>(neighbors_[idx]);
+        if (log.dst_count[dst]++ == 0) log.touched.push_back(neighbors_[idx]);
+      }
     }
   }
   log.records.push_back(rec);
@@ -155,9 +225,16 @@ void RoundBuffer::sink_frame(NodeId from, const Message& frame) {
                                     << " staged into the buffer of node "
                                     << owner_);
   const NodeId to = frame.dst;
-  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
-  DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
-                 "node " << from << " is not adjacent to " << to);
+  if (clique_ != nullptr) {
+    const auto num_nodes = static_cast<NodeId>(clique_->counts.size());
+    DFLP_CHECK_MSG(to >= 0 && to < num_nodes && to != from,
+                   "node " << from << " is not adjacent to " << to
+                           << " (clique of " << num_nodes << " nodes)");
+  } else {
+    const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
+    DFLP_CHECK_MSG(it != neighbors_.end() && *it == to,
+                   "node " << from << " is not adjacent to " << to);
+  }
 
   Message msg = frame;
   const int honest = min_message_bits(msg);
@@ -167,11 +244,16 @@ void RoundBuffer::sink_frame(NodeId from, const Message& frame) {
                              << limits_.bit_budget << " (kind="
                              << static_cast<int>(msg.kind) << ")");
 
-  const auto idx = static_cast<std::size_t>(it - neighbors_.begin());
-  DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
-                 "edge allowance exceeded on " << from << "->" << to
-                                               << " in round " << round_);
-  ++edge_sends_[idx];
+  if (clique_ != nullptr) {
+    clique_charge_unicast(from, to);
+  } else {
+    const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), to);
+    const auto idx = static_cast<std::size_t>(it - neighbors_.begin());
+    DFLP_CHECK_MSG(edge_sends_[idx] < limits_.max_msgs_per_edge_per_round,
+                   "edge allowance exceeded on " << from << "->" << to
+                                                 << " in round " << round_);
+    ++edge_sends_[idx];
+  }
 
   WireRecord rec;
   rec.src = msg.src;
@@ -213,6 +295,9 @@ void RoundBuffer::clear() noexcept {
     log_->records.resize(rec_begin_);
   }
   std::fill(edge_sends_.begin(), edge_sends_.end(), 0);
+  if (clique_ != nullptr) ++clique_->epoch;  // forget the allowance counts
+  clique_broadcasts_ = 0;
+  clique_max_unicast_ = 0;
   halt_ = false;
 }
 

@@ -68,9 +68,18 @@ class RoundBuffer final : public MessageSink {
   /// retained across rounds. `edge_scratch`, when non-empty, must span
   /// `neighbors.size()` slots (the engine's CSR allowance slab); it is
   /// zero-filled here. Empty uses internal storage.
+  ///
+  /// `clique` switches the buffer into congested-clique mode: `neighbors`
+  /// is then the engine's implicit rotation (all nodes but the owner,
+  /// unsorted — used only for the broadcast degree), adjacency of a unicast
+  /// is checked as `0 <= to < N, to != owner`, and the per-edge allowance is
+  /// charged against the epoch-stamped scratch — begin() bumps its epoch, so
+  /// re-arming stays O(1) instead of an O(N) zero-fill. `edge_scratch` must
+  /// be empty in that case.
   void begin(NodeId node, std::uint64_t round,
              std::span<const NodeId> neighbors, const Limits& limits,
-             StageLog* log = nullptr, std::span<std::int8_t> edge_scratch = {});
+             StageLog* log = nullptr, std::span<std::int8_t> edge_scratch = {},
+             CliqueScratch* clique = nullptr);
 
   // MessageSink: called by NodeContext during the owner's step.
   void sink_send(NodeId from, NodeId to, std::uint8_t kind,
@@ -122,7 +131,8 @@ class RoundBuffer final : public MessageSink {
 
   /// Whether any message was staged to the neighbour at `neighbor_idx`
   /// (position in the adjacency list) — the synchronizer's silent-edge
-  /// query for round tokens.
+  /// query for round tokens. Not meaningful in clique mode (the
+  /// synchronizer never runs over the implicit topology).
   [[nodiscard]] bool sent_to(std::size_t neighbor_idx) const {
     return neighbor_idx < edge_sends_.size() && edge_sends_[neighbor_idx] != 0;
   }
@@ -137,6 +147,11 @@ class RoundBuffer final : public MessageSink {
   /// accounting (aggregates plus, when enabled, the stage-time histogram).
   void stage_single(const WireRecord& rec);
 
+  /// Clique-mode per-(owner, to) allowance charge against the epoch-stamped
+  /// scratch. The composite count per link is unicasts(to) + broadcasts
+  /// staged this step. `to` must already be range-checked.
+  void clique_charge_unicast(NodeId from, NodeId to);
+
   NodeId owner_ = kNoNode;
   std::uint64_t round_ = 0;
   std::span<const NodeId> neighbors_;
@@ -146,6 +161,13 @@ class RoundBuffer final : public MessageSink {
   std::span<std::int8_t> edge_sends_;  ///< per neighbour index
   StageLog own_log_;                   ///< standalone fallback
   std::vector<std::int8_t> edge_store_;  ///< standalone fallback
+  // Clique mode: the shard's epoch-stamped allowance scratch plus the
+  // owner's per-step broadcast count and unicast high-water mark — a
+  // broadcast charges every link, so link (owner, to) carries
+  // counts[to] + clique_broadcasts_ staged messages.
+  CliqueScratch* clique_ = nullptr;
+  std::int8_t clique_broadcasts_ = 0;
+  std::int8_t clique_max_unicast_ = 0;
   bool halt_ = false;
 };
 

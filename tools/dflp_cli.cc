@@ -33,8 +33,9 @@
 // solution — traced runs are bit-identical to untraced ones.
 //
 // `-` reads the instance from stdin. Families: uniform, euclidean,
-// powerlaw, greedy-tight, star. Algorithms: any name printed by
-// `dflp_cli solve help`.
+// powerlaw, greedy-tight, star, plus the complete-bipartite `metric`
+// family (fl/metric.h) that the congested-clique solver requires.
+// Algorithms: any name printed by `dflp_cli solve help`.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -50,6 +51,7 @@
 #include "netsim/trace.h"
 #include "fl/capacitated.h"
 #include "fl/ftfp.h"
+#include "fl/metric.h"
 #include "fl/serialize.h"
 #include "harness/report.h"
 #include "harness/runner.h"
@@ -129,10 +131,12 @@ int usage(std::ostream& out = std::cerr, int code = 2) {
          "                         default 1024)\n"
          "         --cold         (stream only: from-scratch baseline,\n"
          "                         no warm starting)\n"
-         "families: uniform euclidean powerlaw greedy-tight star\n"
+         "families: uniform euclidean powerlaw greedy-tight star metric\n"
+         "          (metric: planted-cluster complete-bipartite Euclidean\n"
+         "           instances — the workload clique-fl requires)\n"
          "algorithms: mw-greedy mw-pipeline ideal-greedy seq-greedy\n"
          "            jain-vazirani mettu-plaxton jms-greedy local-search\n"
-         "            open-all nearest-facility\n";
+         "            open-all nearest-facility li-jms clique-fl\n";
   return code;
 }
 
@@ -170,7 +174,7 @@ std::vector<std::pair<std::string, harness::Algo>> algo_registry() {
        {Algo::kMwGreedy, Algo::kPipeline, Algo::kIdealGreedy,
         Algo::kSeqGreedy, Algo::kJainVazirani, Algo::kMettuPlaxton,
         Algo::kJms, Algo::kLocalSearch, Algo::kOpenAll,
-        Algo::kNearestFacility}) {
+        Algo::kNearestFacility, Algo::kLiJms, Algo::kCliqueFl}) {
     reg.emplace_back(harness::algo_name(a), a);
   }
   return reg;
@@ -184,6 +188,18 @@ int cmd_generate(int argc, char** argv) {
   if (size < 4) {
     std::cerr << "size must be >= 4\n";
     return 2;
+  }
+  if (family_name == "metric") {
+    // Planted-cluster complete-bipartite metric instances (fl/metric.h):
+    // <size> facilities, 3x<size> clients. check_metric holds by
+    // construction; clique-fl and li-jms are the intended consumers.
+    fl::MetricParams mp;
+    mp.facilities = size;
+    mp.clients = 3 * size;
+    mp.clusters = std::max<std::int32_t>(2, size / 8);
+    fl::write_instance(std::cout,
+                       fl::make_metric_instance(mp, seed).instance);
+    return 0;
   }
   workload::Family family = workload::Family::kUniform;
   bool found = false;
@@ -364,8 +380,9 @@ int cmd_solve(int argc, char** argv) {
     if (name == algo_name) {
       const harness::LowerBound lb = harness::compute_lower_bound(inst);
       harness::RunResult r = harness::run_algorithm(algo, inst, params, lb);
-      const bool distributed =
-          algo == harness::Algo::kMwGreedy || algo == harness::Algo::kPipeline;
+      const bool distributed = algo == harness::Algo::kMwGreedy ||
+                               algo == harness::Algo::kPipeline ||
+                               algo == harness::Algo::kCliqueFl;
       if (distributed && fault_flags_active()) {
         // Round dilation against the fault-free baseline sharing the same
         // transport mode and boot-crash pruning (fault_seed preserved).
@@ -392,7 +409,8 @@ int cmd_solve(int argc, char** argv) {
                   << ") written to " << r.trace_path << "\n";
       } else if (!g_trace_path.empty()) {
         std::cout << "note: --trace applies to the distributed algorithms "
-                     "(mw-greedy, mw-pipeline); no trace written\n";
+                     "(mw-greedy, mw-pipeline, clique-fl); no trace "
+                     "written\n";
       }
       return 0;
     }
